@@ -1,0 +1,46 @@
+//! Figure 2 (Exp-1) as a Criterion bench: end-to-end discovery wall time
+//! vs. number of tuples on the two dataset families, for the three
+//! configurations OD / AOD (optimal) / AOD (iterative).
+//!
+//! Sizes are laptop-scaled (the paper sweeps 200K–1M and 100K–5M on a Xeon
+//! with 24 h budgets); the *shape* — iterative blowing up super-linearly
+//! while OD and AOD (optimal) stay close — is what this bench checks.
+//! The `exp1` binary prints the full paper-style table with found-counts.
+
+use aod_bench::Dataset;
+use aod_core::{discover, DiscoveryConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_discovery_vs_tuples");
+    group.sample_size(10);
+    for ds in [Dataset::Flight, Dataset::Ncvoter] {
+        for &rows in &[2_000usize, 5_000] {
+            let table = ds.ranked_10(rows, 42);
+            let id = format!("{}_{rows}", ds.name());
+            group.bench_with_input(BenchmarkId::new("od_exact", &id), &rows, |b, _| {
+                b.iter(|| discover(&table, &DiscoveryConfig::exact()))
+            });
+            group.bench_with_input(BenchmarkId::new("aod_optimal", &id), &rows, |b, _| {
+                b.iter(|| discover(&table, &DiscoveryConfig::approximate(0.10)))
+            });
+            // The iterative run is capped so a pathological candidate can't
+            // stall the bench suite; at these sizes it finishes well within
+            // the cap but is visibly slower.
+            let capped =
+                DiscoveryConfig::approximate_iterative(0.10).with_timeout(Duration::from_secs(30));
+            group.bench_with_input(BenchmarkId::new("aod_iterative", &id), &rows, |b, _| {
+                b.iter(|| discover(&table, &capped))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(8));
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 3 (Exp-2) as a Criterion bench: discovery wall time vs. number
+//! of attributes at 1K tuples (the paper's setting). Expect exponential
+//! growth in the attribute count and AOD (optimal) tracking OD closely —
+//! sometimes beating it through earlier pruning (Exp-5's up-to-76% claim).
+//! The `exp2` binary prints the full series with found-counts.
+
+use aod_bench::Dataset;
+use aod_core::{discover, DiscoveryConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_discovery_vs_attrs");
+    group.sample_size(10);
+    let rows = 1_000;
+    for ds in [Dataset::Flight, Dataset::Ncvoter] {
+        for &attrs in &[5usize, 10, 15] {
+            let table = ds.ranked_first_attrs(rows, attrs, 42);
+            let id = format!("{}_{attrs}attrs", ds.name());
+            group.bench_with_input(BenchmarkId::new("od_exact", &id), &attrs, |b, _| {
+                b.iter(|| discover(&table, &DiscoveryConfig::exact()))
+            });
+            group.bench_with_input(BenchmarkId::new("aod_optimal", &id), &attrs, |b, _| {
+                b.iter(|| discover(&table, &DiscoveryConfig::approximate(0.10)))
+            });
+            let capped =
+                DiscoveryConfig::approximate_iterative(0.10).with_timeout(Duration::from_secs(30));
+            group.bench_with_input(BenchmarkId::new("aod_iterative", &id), &attrs, |b, _| {
+                b.iter(|| discover(&table, &capped))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(8));
+    targets = bench_fig3
+}
+criterion_main!(benches);

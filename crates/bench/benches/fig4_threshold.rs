@@ -1,0 +1,40 @@
+//! Figure 4 (Exp-3) as a Criterion bench: discovery wall time vs. the
+//! approximation threshold ε. Expected shape: AOD (optimal) is flat in ε
+//! (early-exit budgets only shrink work), AOD (iterative) grows roughly
+//! linearly in ε (its removal loop runs up to ε·n times per candidate).
+//! The `exp3` binary prints the full table including validation-time
+//! shares (the paper's 99.6% / 99.8% claims).
+
+use aod_bench::Dataset;
+use aod_core::{discover, DiscoveryConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_discovery_vs_threshold");
+    group.sample_size(10);
+    let rows = 3_000;
+    for ds in [Dataset::Flight, Dataset::Ncvoter] {
+        let table = ds.ranked_10(rows, 42);
+        for &pct in &[0usize, 10, 25] {
+            let eps = pct as f64 / 100.0;
+            let id = format!("{}_eps{pct}", ds.name());
+            group.bench_with_input(BenchmarkId::new("aod_optimal", &id), &pct, |b, _| {
+                b.iter(|| discover(&table, &DiscoveryConfig::approximate(eps)))
+            });
+            let capped =
+                DiscoveryConfig::approximate_iterative(eps).with_timeout(Duration::from_secs(30));
+            group.bench_with_input(BenchmarkId::new("aod_iterative", &id), &pct, |b, _| {
+                b.iter(|| discover(&table, &capped))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(8));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5 (Exp-5) as a Criterion bench: exact vs. approximate discovery
+//! on the ncvoter family — the timing side of the "AOCs live in lower
+//! lattice levels, so pruning fires earlier" effect. The per-level
+//! histogram itself (Figure 5's bars) is printed by the `exp5` binary;
+//! this bench tracks the runtime consequence.
+
+use aod_bench::Dataset;
+use aod_core::{discover, DiscoveryConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_levels_pruning_effect");
+    group.sample_size(10);
+    for &rows in &[5_000usize, 15_000] {
+        let table = Dataset::Ncvoter.ranked_10(rows, 42);
+        group.bench_with_input(BenchmarkId::new("od_exact", rows), &rows, |b, _| {
+            b.iter(|| discover(&table, &DiscoveryConfig::exact()))
+        });
+        group.bench_with_input(BenchmarkId::new("aod_optimal", rows), &rows, |b, _| {
+            b.iter(|| discover(&table, &DiscoveryConfig::approximate(0.10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(8));
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmark of the Section 3 complexity claims: validating a single
+//! AOC candidate with the exact scan, the optimal LNDS validator
+//! (Algorithm 2, `O(n log n)`), and the iterative baseline (Algorithm 1,
+//! `O(n log n + εn²)`). The iterative series' super-linear growth and the
+//! near-constant gap of the other two are the microscopic version of
+//! Figures 2–4.
+
+use aod_datagen::{ColumnKind, ColumnSpec, Generator};
+use aod_partition::Partition;
+use aod_validate::OcValidator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn dirty_pair(rows: usize, noise: f64) -> (Vec<u32>, Vec<u32>) {
+    let generator = Generator::new(
+        vec![
+            ColumnSpec::new(
+                "a",
+                ColumnKind::Uniform {
+                    cardinality: (rows / 2).max(2) as u32,
+                },
+            ),
+            ColumnSpec::new(
+                "b",
+                ColumnKind::MonotoneOf {
+                    source: 0,
+                    noise_rate: noise,
+                },
+            ),
+        ],
+        99,
+    );
+    let mut cols = generator.generate_u32(rows);
+    let b = cols.pop().expect("two columns");
+    let a = cols.pop().expect("two columns");
+    (a, b)
+}
+
+fn bench_validators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aoc_validation");
+    group.sample_size(10);
+    for &rows in &[1_000usize, 4_000, 16_000] {
+        let (a, b) = dirty_pair(rows, 0.10);
+        let ctx = Partition::unit(rows);
+        let mut v = OcValidator::new();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("exact_scan", rows), &rows, |bench, _| {
+            bench.iter(|| v.exact_oc_holds(&ctx, &a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_lnds", rows), &rows, |bench, _| {
+            bench.iter(|| v.min_removal_optimal(&ctx, &a, &b, usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", rows), &rows, |bench, _| {
+            bench.iter(|| v.min_removal_iterative(&ctx, &a, &b, usize::MAX))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lis_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lis_primitives");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (_, b) = dirty_pair(n, 0.10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lnds_length", n), &n, |bench, _| {
+            bench.iter(|| aod_lis::lnds_length(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("lnds_indices", n), &n, |bench, _| {
+            bench.iter(|| aod_lis::lnds_indices(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("count_inversions", n), &n, |bench, _| {
+            bench.iter(|| aod_lis::count_inversions(&b))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("per_element_inversions", n),
+            &n,
+            |bench, _| bench.iter(|| aod_lis::per_element_inversions(&b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validators, bench_lis_primitives);
+criterion_main!(benches);

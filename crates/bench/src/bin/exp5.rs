@@ -1,0 +1,65 @@
+//! Exp-5 / Figure 5 — lattice levels of discovered OCs vs AOCs, and the
+//! runtime effect of earlier pruning.
+//!
+//! The paper: "AOCs tend to reside in lower levels of the lattice"; on
+//! ncvoter the average level drops from 5.6 to 4.3 (Figure 5 plots the
+//! per-level histogram), and because valid AOCs/AOFDs appear earlier,
+//! pruning kicks in earlier, making AOD discovery "up to 34% and 76%
+//! faster" than exact OD discovery in the tuple- and attribute-sweeps.
+//!
+//! Usage: `cargo run --release -p aod-bench --bin exp5 [--rows 50000]
+//!         [--epsilon 0.1]`
+
+use aod_bench::{print_table, Dataset, ExpArgs};
+use aod_core::{discover, DiscoveryConfig};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let rows = args.usize("rows", 50_000);
+    let epsilon = args.f64("epsilon", 0.1);
+
+    println!(
+        "# Exp-5 (Figure 5): lattice level of OCs vs AOCs — ncvoter, {rows} tuples, 10 attributes, ε = {epsilon}\n"
+    );
+
+    for ds in [Dataset::Ncvoter, Dataset::Flight] {
+        let table = ds.ranked_10(rows, 42);
+        let exact = discover(&table, &DiscoveryConfig::exact());
+        let approx = discover(&table, &DiscoveryConfig::approximate(epsilon));
+
+        println!("## {}\n", ds.name());
+        let max_level = exact
+            .stats
+            .per_level
+            .len()
+            .max(approx.stats.per_level.len());
+        let count_at = |r: &aod_core::DiscoveryResult, level: usize| {
+            r.stats.per_level.get(level - 1).map_or(0, |l| l.n_oc_found)
+        };
+        let mut rows_out = Vec::new();
+        for level in 2..=max_level {
+            rows_out.push(vec![
+                level.to_string(),
+                count_at(&exact, level).to_string(),
+                count_at(&approx, level).to_string(),
+            ]);
+        }
+        print_table(&["lattice level", "#OCs", "#AOCs"], &rows_out);
+
+        let avg_exact = exact.stats.avg_oc_level().unwrap_or(0.0);
+        let avg_approx = approx.stats.avg_oc_level().unwrap_or(0.0);
+        println!(
+            "\naverage lattice level: OCs {avg_exact:.1} -> AOCs {avg_approx:.1} \
+             (paper, ncvoter-5M: 5.6 -> 4.3)"
+        );
+        let t_exact = exact.stats.total.as_secs_f64();
+        let t_approx = approx.stats.total.as_secs_f64();
+        let delta = 100.0 * (t_exact - t_approx) / t_exact.max(1e-9);
+        println!(
+            "runtime: OD {t_exact:.2}s vs AOD(optimal) {t_approx:.2}s -> AOD is {:.0}% {} \
+             (paper: AOD up to 34%/76% faster where pruning dominates)\n",
+            delta.abs(),
+            if delta >= 0.0 { "faster" } else { "slower" },
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal command-line argument parser.
+//!
+//! Grammar: `aod <command> [positional...] [--flag] [--key value]...`.
+//! Boolean flags and valued options are distinguished by a fixed list of
+//! known flags, so `--exact file.csv` parses unambiguously.
+
+/// Flags that never take a value.
+const BOOL_FLAGS: &[&str] = &[
+    "exact",
+    "iterative",
+    "ofds",
+    "od",
+    "show-removals",
+    "no-header",
+    "help",
+];
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: Vec<(String, String)>,
+    /// `--flag` booleans.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            command: argv.first().cloned().unwrap_or_else(|| "help".into()),
+            ..Args::default()
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    args.flags.push(name.to_string());
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    args.options.push((name.to_string(), value.clone()));
+                    i += 1;
+                }
+            } else {
+                args.positional.push(token.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// `true` when a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of a `--key value` option.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A float-valued option.
+    pub fn float(&self, name: &str) -> Result<Option<f64>, String> {
+        self.value(name)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--{name}: `{v}` is not a number"))
+            })
+            .transpose()
+    }
+
+    /// An integer-valued option.
+    pub fn int(&self, name: &str) -> Result<Option<usize>, String> {
+        self.value(name)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{name}: `{v}` is not an integer"))
+            })
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn parses_command_and_positional() {
+        let a = parse(&["discover", "data.csv"]);
+        assert_eq!(a.command, "discover");
+        assert_eq!(a.positional, vec!["data.csv"]);
+    }
+
+    #[test]
+    fn parses_flags_and_options() {
+        let a = parse(&["discover", "f.csv", "--exact", "--top", "5", "--ofds"]);
+        assert!(a.flag("exact"));
+        assert!(a.flag("ofds"));
+        assert!(!a.flag("iterative"));
+        assert_eq!(a.int("top").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let a = parse(&["x", "--epsilon", "0.1", "--epsilon", "0.2"]);
+        assert_eq!(a.float("epsilon").unwrap(), Some(0.2));
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = parse(&["x", "--epsilon", "abc"]);
+        assert!(a.float("epsilon").is_err());
+        let a = parse(&["x", "--rows", "1.5"]);
+        assert!(a.int("rows").is_err());
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let argv = vec!["x".to_string(), "--rows".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn flag_then_positional_is_unambiguous() {
+        let a = parse(&["validate", "--od", "f.csv", "--pair", "a,b"]);
+        assert!(a.flag("od"));
+        assert_eq!(a.positional, vec!["f.csv"]);
+        assert_eq!(a.value("pair"), Some("a,b"));
+    }
+}

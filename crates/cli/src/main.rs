@@ -1,0 +1,250 @@
+//! `aod` — command-line (approximate) order dependency discovery.
+//!
+//! Subcommands:
+//!
+//! * `aod discover <file.csv>` — run the full Figure-1 pipeline on a CSV
+//!   file and print ranked dependencies.
+//! * `aod validate <file.csv> --pair A,B [--context C,...]` — validate one
+//!   OC/OD candidate and print its approximation factor and removal set.
+//! * `aod generate <flight|ncvoter|employee> --rows N [--out f.csv]` —
+//!   materialise a synthetic dataset.
+//!
+//! Argument parsing is hand-rolled (the offline dependency policy excludes
+//! `clap`); see [`Args`].
+
+use aod_core::{discover, outlier_report, DiscoveryConfig};
+use aod_datagen::{flight, ncvoter};
+use aod_partition::AttrSet;
+use aod_partition::Partition;
+use aod_table::csv::{read_path, write_path, CsvOptions};
+use aod_table::{employee_table, RankedTable, Table};
+use aod_validate::{removal_budget, OcValidator};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+const USAGE: &str = "\
+aod — approximate order dependency discovery (EDBT 2021 reproduction)
+
+USAGE:
+  aod discover <file.csv> [--epsilon E] [--iterative] [--exact]
+               [--max-level N] [--top K] [--ofds] [--no-header]
+  aod validate <file.csv> --pair A,B [--context C1,C2,...] [--epsilon E]
+               [--od] [--iterative] [--show-removals] [--no-header]
+  aod generate <flight|ncvoter|employee> [--rows N] [--seed S] [--out FILE]
+  aod outliers <file.csv> [--epsilon E] [--top K] [--no-header]
+
+OPTIONS:
+  --epsilon E       approximation threshold in [0,1] (default 0.1)
+  --exact           discover exact ODs (epsilon = 0, linear validators)
+  --iterative       use the iterative baseline validator (Algorithm 1)
+  --max-level N     cap the lattice level
+  --top K           print only the K most interesting dependencies
+  --ofds            also print discovered OFDs
+  --pair A,B        the candidate pair (column names)
+  --context C1,...  context column names (default: empty context)
+  --od              validate as OD (splits + swaps) instead of OC
+  --show-removals   print the rows of the minimal removal set
+  --rows N          rows to generate (default 1000)
+  --seed S          RNG seed (default 42)
+  --out FILE        output CSV path (default stdout summary only)
+  --no-header       input CSV has no header row
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "discover" => cmd_discover(&args),
+        "validate" => cmd_validate(&args),
+        "generate" => cmd_generate(&args),
+        "outliers" => cmd_outliers(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_table(args: &Args) -> Result<Table, String> {
+    let path = args.positional.first().ok_or("missing input file")?;
+    let options = CsvOptions {
+        has_header: !args.flag("no-header"),
+        ..CsvOptions::default()
+    };
+    read_path(path, &options).map_err(|e| format!("reading `{path}`: {e}"))
+}
+
+fn cmd_discover(args: &Args) -> Result<(), String> {
+    let table = load_table(args)?;
+    let ranked = RankedTable::from_table(&table);
+    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let mut config = if args.flag("exact") {
+        DiscoveryConfig::exact()
+    } else if args.flag("iterative") {
+        DiscoveryConfig::approximate_iterative(epsilon)
+    } else {
+        DiscoveryConfig::approximate(epsilon)
+    };
+    if let Some(level) = args.int("max-level")? {
+        config = config.with_max_level(level);
+    }
+    let result = discover(&ranked, &config);
+    let names = table.schema().names();
+    let top = args.int("top")?.unwrap_or(usize::MAX);
+
+    println!(
+        "{} rows × {} columns; mode: {}; found {} OCs, {} OFDs in {:.3}s \
+         ({:.1}% of time in OC validation)",
+        table.n_rows(),
+        table.n_cols(),
+        if args.flag("exact") {
+            "exact".into()
+        } else {
+            format!("ε = {epsilon}")
+        },
+        result.n_ocs(),
+        result.n_ofds(),
+        result.stats.total.as_secs_f64(),
+        100.0 * result.stats.oc_validation_share(),
+    );
+    println!("\norder compatibilities (most interesting first):");
+    for dep in result.ranked_ocs().into_iter().take(top) {
+        println!("  {}", dep.display(&names));
+    }
+    if args.flag("ofds") {
+        println!("\norder functional dependencies:");
+        for dep in result.ranked_ofds().into_iter().take(top) {
+            println!("  {}", dep.display(&names));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let table = load_table(args)?;
+    let ranked = RankedTable::from_table(&table);
+    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let pair = args.value("pair").ok_or("missing --pair A,B")?;
+    let (a_name, b_name) = pair
+        .split_once(',')
+        .ok_or("expected --pair A,B with two column names")?;
+    let col = |name: &str| -> Result<usize, String> {
+        table
+            .schema()
+            .index_of(name.trim())
+            .ok_or_else(|| format!("unknown column `{}`", name.trim()))
+    };
+    let (a, b) = (col(a_name)?, col(b_name)?);
+    let mut context = AttrSet::EMPTY;
+    if let Some(ctx) = args.value("context") {
+        for name in ctx.split(',') {
+            context = context.with(col(name)?);
+        }
+    }
+
+    let ctx_partition = Partition::for_attrs(&ranked, context.iter());
+    let budget = removal_budget(table.n_rows(), epsilon);
+    let mut v = OcValidator::new();
+    let (ar, br) = (ranked.column(a).ranks(), ranked.column(b).ranks());
+    let removal = if args.flag("od") {
+        v.removal_set_od(&ctx_partition, ar, br)
+    } else if args.flag("iterative") {
+        v.removal_set_iterative(&ctx_partition, ar, br)
+    } else {
+        v.removal_set_optimal(&ctx_partition, ar, br)
+    };
+    let kind = if args.flag("od") { "OD" } else { "OC" };
+    let rel = if args.flag("od") { "|->" } else { "~" };
+    println!(
+        "{kind} {}: {} {rel} {}  removal set size {} / {} rows  (e = {:.4}, budget {budget})  => {}",
+        context.display_with(&table.schema().names()),
+        a_name.trim(),
+        b_name.trim(),
+        removal.len(),
+        table.n_rows(),
+        removal.len() as f64 / table.n_rows().max(1) as f64,
+        if removal.len() <= budget { "VALID" } else { "INVALID" },
+    );
+    if args.flag("show-removals") {
+        for &row in &removal {
+            let values: Vec<String> = table
+                .row(row as usize)
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            println!("  row {:>6}: {}", row, values.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// Figure 1's downstream stage: flag rows that discovered approximate
+/// dependencies mark as exceptions, ranked by evidence count.
+fn cmd_outliers(args: &Args) -> Result<(), String> {
+    let table = load_table(args)?;
+    let ranked = RankedTable::from_table(&table);
+    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let top = args.int("top")?.unwrap_or(20);
+    let result = discover(&ranked, &DiscoveryConfig::approximate(epsilon));
+    let report = outlier_report(&ranked, &result);
+    println!(
+        "{} approximate dependencies contribute outlier evidence (ε = {epsilon})",
+        report.n_contributing
+    );
+    for (row, score) in report.top(top) {
+        let values: Vec<String> = table.row(row).iter().map(ToString::to_string).collect();
+        println!("  row {row:>6} flagged by {score:>3} deps: {}", values.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let which = args.positional.first().ok_or("missing dataset name")?;
+    let rows = args.int("rows")?.unwrap_or(1000);
+    let seed = args.int("seed")?.unwrap_or(42) as u64;
+    let table = match which.as_str() {
+        "flight" => flight::flight(seed).table(rows),
+        "ncvoter" => ncvoter::ncvoter(seed).table(rows),
+        "employee" => employee_table(),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (flight|ncvoter|employee)"
+            ))
+        }
+    };
+    match args.value("out") {
+        Some(path) => {
+            write_path(&table, path, &CsvOptions::default())
+                .map_err(|e| format!("writing `{path}`: {e}"))?;
+            println!(
+                "wrote {} rows × {} columns to {path}",
+                table.n_rows(),
+                table.n_cols()
+            );
+        }
+        None => {
+            println!(
+                "generated {} rows × {} columns (pass --out FILE to save)",
+                table.n_rows(),
+                table.n_cols()
+            );
+            println!("columns: {}", table.schema().names().join(", "));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Discovery results: dependency lists, ranking, reporting.
+
+use crate::dep::{OcDep, OfdDep};
+use crate::stats::DiscoveryStats;
+use std::fmt::Write as _;
+
+/// Everything a discovery run produces.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryResult {
+    /// Minimal valid (approximate) OCs.
+    pub ocs: Vec<OcDep>,
+    /// Minimal valid (approximate) OFDs.
+    pub ofds: Vec<OfdDep>,
+    /// Per-phase timings and per-level counters.
+    pub stats: DiscoveryStats,
+    /// Table size the run saw.
+    pub n_rows: usize,
+    /// Attribute count the run saw.
+    pub n_attrs: usize,
+}
+
+impl DiscoveryResult {
+    /// Number of discovered OCs (the paper's in-plot annotations).
+    pub fn n_ocs(&self) -> usize {
+        self.ocs.len()
+    }
+
+    /// Number of discovered OFDs.
+    pub fn n_ofds(&self) -> usize {
+        self.ofds.len()
+    }
+
+    /// OCs sorted by descending interestingness (Figure 1's ranking stage);
+    /// ties broken by ascending approximation factor, then context.
+    pub fn ranked_ocs(&self) -> Vec<&OcDep> {
+        let mut out: Vec<&OcDep> = self.ocs.iter().collect();
+        out.sort_by(|x, y| {
+            y.interestingness()
+                .partial_cmp(&x.interestingness())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    x.factor
+                        .partial_cmp(&y.factor)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(x.context.cmp(&y.context))
+                .then((x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        out
+    }
+
+    /// OFDs sorted by descending interestingness.
+    pub fn ranked_ofds(&self) -> Vec<&OfdDep> {
+        let mut out: Vec<&OfdDep> = self.ofds.iter().collect();
+        out.sort_by(|x, y| {
+            y.interestingness()
+                .partial_cmp(&x.interestingness())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    x.factor
+                        .partial_cmp(&y.factor)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(x.context.cmp(&y.context))
+                .then(x.rhs.cmp(&y.rhs))
+        });
+        out
+    }
+
+    /// Human-readable multi-line report with resolved column names.
+    pub fn report(&self, names: &[&str]) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "discovered {} OCs and {} OFDs over {} rows × {} attributes in {:.3}s",
+            self.n_ocs(),
+            self.n_ofds(),
+            self.n_rows,
+            self.n_attrs,
+            self.stats.total.as_secs_f64()
+        );
+        if self.stats.timed_out {
+            let _ = writeln!(s, "  (run timed out; results are partial)");
+        }
+        let _ = writeln!(s, "order compatibilities (by interestingness):");
+        for dep in self.ranked_ocs() {
+            let _ = writeln!(s, "  {}", dep.display(names));
+        }
+        let _ = writeln!(s, "order functional dependencies (by interestingness):");
+        for dep in self.ranked_ofds() {
+            let _ = writeln!(s, "  {}", dep.display(names));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_partition::AttrSet;
+
+    fn oc(level: usize, coverage: f64, a: usize, b: usize) -> OcDep {
+        OcDep {
+            context: AttrSet::EMPTY,
+            a,
+            b,
+            removed: 0,
+            factor: 0.0,
+            level,
+            coverage,
+        }
+    }
+
+    #[test]
+    fn ranking_prefers_low_levels_then_low_factor() {
+        let result = DiscoveryResult {
+            ocs: vec![oc(4, 1.0, 0, 1), oc(2, 1.0, 2, 3), oc(2, 0.4, 4, 5)],
+            ..DiscoveryResult::default()
+        };
+        let ranked = result.ranked_ocs();
+        assert_eq!((ranked[0].a, ranked[0].b), (2, 3)); // level 2, coverage 1.0
+        assert_eq!((ranked[1].a, ranked[1].b), (4, 5)); // level 2, coverage 0.4
+        assert_eq!((ranked[2].a, ranked[2].b), (0, 1)); // level 4
+    }
+
+    #[test]
+    fn report_lists_everything() {
+        let result = DiscoveryResult {
+            ocs: vec![oc(2, 1.0, 0, 1)],
+            ofds: vec![OfdDep {
+                context: AttrSet::singleton(0),
+                rhs: 1,
+                removed: 0,
+                factor: 0.0,
+                level: 2,
+                coverage: 1.0,
+            }],
+            n_rows: 9,
+            n_attrs: 2,
+            ..DiscoveryResult::default()
+        };
+        let report = result.report(&["x", "y"]);
+        assert!(report.contains("1 OCs and 1 OFDs"));
+        assert!(report.contains("{}: x ~ y"));
+        assert!(report.contains("{x}: [] -> y"));
+    }
+}

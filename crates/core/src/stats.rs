@@ -1,0 +1,151 @@
+//! Per-run discovery statistics.
+//!
+//! Everything the paper's experiments report about a discovery run beyond
+//! the dependency list itself: wall time broken down by phase (Exp-3's
+//! "up to 99.6% of the total runtime is spent on validation"), per-level
+//! candidate/hit counts (Figure 5), and average lattice levels (Exp-5).
+
+use std::time::Duration;
+
+/// Counters for one lattice level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// The lattice level (node size).
+    pub level: usize,
+    /// Nodes processed at this level.
+    pub n_nodes: usize,
+    /// OC candidates validated (after pruning).
+    pub n_oc_candidates: usize,
+    /// OC candidates skipped by pruning rules R2–R4.
+    pub n_oc_pruned: usize,
+    /// Valid OCs found.
+    pub n_oc_found: usize,
+    /// OFD candidates validated.
+    pub n_ofd_candidates: usize,
+    /// Valid OFDs found.
+    pub n_ofd_found: usize,
+}
+
+/// Aggregated statistics for a discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryStats {
+    /// Total wall time.
+    pub total: Duration,
+    /// Time inside OC validation (exact or approximate).
+    pub oc_validation: Duration,
+    /// Time inside OFD validation.
+    pub ofd_validation: Duration,
+    /// Time computing partition products.
+    pub partitioning: Duration,
+    /// Per-level counters, index 0 = level 1.
+    pub per_level: Vec<LevelStats>,
+    /// `true` when the run hit its wall-clock budget and returned early.
+    pub timed_out: bool,
+}
+
+impl DiscoveryStats {
+    /// Share of total runtime spent validating OC candidates, in `[0, 1]`.
+    pub fn oc_validation_share(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        self.oc_validation.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Share of total runtime spent in any validation (OC + OFD).
+    pub fn validation_share(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        (self.oc_validation + self.ofd_validation).as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Total OCs found across levels.
+    pub fn n_ocs(&self) -> usize {
+        self.per_level.iter().map(|l| l.n_oc_found).sum()
+    }
+
+    /// Total OFDs found across levels.
+    pub fn n_ofds(&self) -> usize {
+        self.per_level.iter().map(|l| l.n_ofd_found).sum()
+    }
+
+    /// Average lattice level of found OCs (Exp-5's headline number);
+    /// `None` when no OCs were found.
+    pub fn avg_oc_level(&self) -> Option<f64> {
+        let (mut weighted, mut count) = (0usize, 0usize);
+        for l in &self.per_level {
+            weighted += l.level * l.n_oc_found;
+            count += l.n_oc_found;
+        }
+        (count > 0).then(|| weighted as f64 / count as f64)
+    }
+
+    /// `(level, n_oc_found)` pairs for levels that found at least one OC —
+    /// the series plotted in Figure 5.
+    pub fn oc_level_histogram(&self) -> Vec<(usize, usize)> {
+        self.per_level
+            .iter()
+            .filter(|l| l.n_oc_found > 0)
+            .map(|l| (l.level, l.n_oc_found))
+            .collect()
+    }
+
+    /// Mutable counters for a level, growing the vector as needed.
+    pub fn level_mut(&mut self, level: usize) -> &mut LevelStats {
+        while self.per_level.len() < level {
+            let l = self.per_level.len() + 1;
+            self.per_level.push(LevelStats {
+                level: l,
+                ..LevelStats::default()
+            });
+        }
+        &mut self.per_level[level - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_mut_grows_and_indexes() {
+        let mut s = DiscoveryStats::default();
+        s.level_mut(3).n_oc_found = 7;
+        assert_eq!(s.per_level.len(), 3);
+        assert_eq!(s.per_level[2].level, 3);
+        assert_eq!(s.n_ocs(), 7);
+        s.level_mut(1).n_oc_found = 2;
+        assert_eq!(s.n_ocs(), 9);
+    }
+
+    #[test]
+    fn avg_level_weighted() {
+        let mut s = DiscoveryStats::default();
+        s.level_mut(2).n_oc_found = 3;
+        s.level_mut(4).n_oc_found = 1;
+        // (2*3 + 4*1) / 4 = 2.5
+        assert_eq!(s.avg_oc_level(), Some(2.5));
+        assert_eq!(s.oc_level_histogram(), vec![(2, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn avg_level_empty() {
+        let s = DiscoveryStats::default();
+        assert_eq!(s.avg_oc_level(), None);
+        assert_eq!(s.n_ocs(), 0);
+        assert_eq!(s.validation_share(), 0.0);
+    }
+
+    #[test]
+    fn validation_share() {
+        let s = DiscoveryStats {
+            total: Duration::from_millis(100),
+            oc_validation: Duration::from_millis(80),
+            ofd_validation: Duration::from_millis(10),
+            ..DiscoveryStats::default()
+        };
+        assert!((s.oc_validation_share() - 0.8).abs() < 1e-9);
+        assert!((s.validation_share() - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! The `flight`-like synthetic dataset.
+//!
+//! Shaped after the Bureau of Transportation Statistics on-time performance
+//! dump the paper evaluates on (1M tuples, 35 attributes): hierarchical date
+//! attributes, skewed airport/airline categoricals, monotone delay
+//! correlations, and two **planted approximate OCs** matching the paper's
+//! findings:
+//!
+//! * `arrDelay ~ lateAircraftDelay` at ≈ 9.5% (the Exp-4 near-threshold
+//!   example that the iterative validator overestimates past a 10%
+//!   threshold),
+//! * `originAirport ~ originIATA` at ≈ 8% (the Exp-6 data-quality example).
+
+use crate::generic::{ColumnKind, ColumnSpec, Generator};
+
+/// Column index of `arrDelay`.
+pub const ARR_DELAY: usize = 26;
+/// Column index of `lateAircraftDelay`.
+pub const LATE_AIRCRAFT_DELAY: usize = 28;
+/// Column index of `originAirport`.
+pub const ORIGIN_AIRPORT: usize = 8;
+/// Column index of `originIATA`.
+pub const ORIGIN_IATA: usize = 9;
+
+/// Total number of columns in the preset (as in the paper's dataset).
+pub const N_COLS: usize = 35;
+
+/// Builds the 35-column flight-like generator.
+pub fn flight(seed: u64) -> Generator {
+    use ColumnKind::*;
+    let specs = vec![
+        ColumnSpec::new("flightId", Key),                    // 0
+        ColumnSpec::new("year", Uniform { cardinality: 5 }), // 1
+        ColumnSpec::new(
+            "quarter",
+            RefineOf {
+                parent: 1,
+                fanout: 4,
+            },
+        ), // 2
+        ColumnSpec::new(
+            "month",
+            RefineOf {
+                parent: 2,
+                fanout: 3,
+            },
+        ), // 3
+        ColumnSpec::new(
+            "dayOfMonth",
+            RefineOf {
+                parent: 3,
+                fanout: 31,
+            },
+        ), // 4
+        ColumnSpec::new("dayOfWeek", Uniform { cardinality: 7 }), // 5
+        ColumnSpec::new(
+            "airlineId",
+            Zipf {
+                cardinality: 20,
+                s: 1.2,
+            },
+        ), // 6
+        ColumnSpec::new("flightNum", Uniform { cardinality: 8000 }), // 7
+        ColumnSpec::new(
+            "originAirport",
+            Zipf {
+                cardinality: 350,
+                s: 1.1,
+            },
+        ), // 8
+        ColumnSpec::new(
+            "originIATA",
+            MonotoneOf {
+                source: 8,
+                noise_rate: 0.08,
+            },
+        ), // 9
+        ColumnSpec::new(
+            "originCity",
+            CoarsenOf {
+                source: 8,
+                buckets: 120,
+                noise_rate: 0.0,
+            },
+        ), // 10
+        ColumnSpec::new(
+            "originState",
+            CoarsenOf {
+                source: 10,
+                buckets: 50,
+                noise_rate: 0.0,
+            },
+        ), // 11
+        ColumnSpec::new(
+            "destAirport",
+            Zipf {
+                cardinality: 350,
+                s: 1.1,
+            },
+        ), // 12
+        ColumnSpec::new(
+            "destIATA",
+            MonotoneOf {
+                source: 12,
+                noise_rate: 0.08,
+            },
+        ), // 13
+        ColumnSpec::new(
+            "destCity",
+            CoarsenOf {
+                source: 12,
+                buckets: 120,
+                noise_rate: 0.0,
+            },
+        ), // 14
+        ColumnSpec::new(
+            "destState",
+            CoarsenOf {
+                source: 14,
+                buckets: 50,
+                noise_rate: 0.0,
+            },
+        ), // 15
+        ColumnSpec::new("crsDepTime", Uniform { cardinality: 1440 }), // 16
+        ColumnSpec::new(
+            "depTime",
+            MonotoneOf {
+                source: 16,
+                noise_rate: 0.05,
+            },
+        ), // 17
+        ColumnSpec::new("depDelay", Uniform { cardinality: 300 }), // 18
+        ColumnSpec::new(
+            "depDelayGroup",
+            CoarsenOf {
+                source: 18,
+                buckets: 12,
+                noise_rate: 0.0,
+            },
+        ), // 19
+        ColumnSpec::new("taxiOut", Uniform { cardinality: 60 }), // 20
+        ColumnSpec::new(
+            "wheelsOff",
+            MonotoneOf {
+                source: 17,
+                noise_rate: 0.02,
+            },
+        ), // 21
+        ColumnSpec::new("wheelsOn", Uniform { cardinality: 1440 }), // 22
+        ColumnSpec::new("taxiIn", Uniform { cardinality: 40 }), // 23
+        ColumnSpec::new("crsArrTime", Uniform { cardinality: 1440 }), // 24
+        ColumnSpec::new(
+            "arrTime",
+            MonotoneOf {
+                source: 24,
+                noise_rate: 0.05,
+            },
+        ), // 25
+        ColumnSpec::new("arrDelay", Uniform { cardinality: 400 }), // 26
+        ColumnSpec::new(
+            "arrDelayGroup",
+            CoarsenOf {
+                source: 26,
+                buckets: 12,
+                noise_rate: 0.0,
+            },
+        ), // 27
+        ColumnSpec::new(
+            "lateAircraftDelay",
+            MonotoneOf {
+                source: 26,
+                noise_rate: 0.095,
+            },
+        ), // 28
+        ColumnSpec::new("cancelled", Uniform { cardinality: 2 }), // 29
+        ColumnSpec::new("diverted", Uniform { cardinality: 2 }), // 30
+        ColumnSpec::new("crsElapsedTime", Uniform { cardinality: 600 }), // 31
+        ColumnSpec::new(
+            "actualElapsedTime",
+            MonotoneOf {
+                source: 31,
+                noise_rate: 0.04,
+            },
+        ), // 32
+        ColumnSpec::new(
+            "airTime",
+            CoarsenOf {
+                source: 32,
+                buckets: 300,
+                noise_rate: 0.02,
+            },
+        ), // 33
+        ColumnSpec::new(
+            "distance",
+            MonotoneOf {
+                source: 33,
+                noise_rate: 0.01,
+            },
+        ), // 34
+    ];
+    Generator::new(specs, seed)
+}
+
+/// The default 10-attribute projection used by most experiments
+/// ("unless mentioned otherwise … ten attributes"): a mix of the planted
+/// approximate OCs, exact hierarchies and noise columns.
+pub const DEFAULT_10: [usize; 10] = [
+    ORIGIN_AIRPORT,
+    ORIGIN_IATA,
+    ARR_DELAY,
+    LATE_AIRCRAFT_DELAY,
+    27, // arrDelayGroup
+    1,  // year
+    2,  // quarter
+    6,  // airlineId
+    18, // depDelay
+    19, // depDelayGroup
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_partition::Partition;
+    use aod_validate::OcValidator;
+
+    #[test]
+    fn has_35_named_columns() {
+        let g = flight(1);
+        assert_eq!(g.n_cols(), N_COLS);
+        assert_eq!(g.names()[ARR_DELAY], "arrDelay");
+        assert_eq!(g.names()[LATE_AIRCRAFT_DELAY], "lateAircraftDelay");
+    }
+
+    #[test]
+    fn planted_arrdelay_aoc_is_near_9_5_percent() {
+        let n = 4000;
+        let t = flight(7).ranked(n);
+        let mut v = OcValidator::new();
+        let removed = v
+            .min_removal_optimal(
+                &Partition::unit(n),
+                t.column(ARR_DELAY).ranks(),
+                t.column(LATE_AIRCRAFT_DELAY).ranks(),
+                usize::MAX,
+            )
+            .unwrap();
+        let factor = removed as f64 / n as f64;
+        // Noise rate 9.5%; some flips land in order, so the measured factor
+        // sits a little below that but clearly between 4% and 9.5%.
+        assert!(factor > 0.04 && factor < 0.10, "factor {factor}");
+    }
+
+    #[test]
+    fn planted_iata_aoc_is_approximate_not_exact() {
+        let n = 3000;
+        let t = flight(3).ranked(n);
+        let mut v = OcValidator::new();
+        let unit = Partition::unit(n);
+        let (a, b) = (
+            t.column(ORIGIN_AIRPORT).ranks(),
+            t.column(ORIGIN_IATA).ranks(),
+        );
+        assert!(!v.exact_oc_holds(&unit, a, b));
+        let removed = v.min_removal_optimal(&unit, a, b, usize::MAX).unwrap();
+        let factor = removed as f64 / n as f64;
+        assert!(factor > 0.02 && factor < 0.09, "factor {factor}");
+    }
+
+    #[test]
+    fn date_hierarchy_is_exact() {
+        let t = flight(5).ranked(1000);
+        assert!(aod_validate::list_od_holds(&t, &[3], &[2])); // month |-> quarter
+        assert!(aod_validate::list_od_holds(&t, &[2], &[1])); // quarter |-> year
+    }
+
+    #[test]
+    fn default_projection_is_valid() {
+        assert_eq!(DEFAULT_10.len(), 10);
+        assert!(DEFAULT_10.iter().all(|&c| c < N_COLS));
+    }
+}

@@ -1,0 +1,293 @@
+//! The `ncvoter`-like synthetic dataset.
+//!
+//! Shaped after the North Carolina State Board of Elections voter roll the
+//! paper evaluates on (5M tuples, 30 attributes): county/precinct/ward
+//! hierarchies, highly skewed municipality values, and two **planted
+//! approximate OCs** matching the paper's findings:
+//!
+//! * `municipalityAbbrv ~ municipalityDesc` at ≈ 19% (the Exp-6 example of
+//!   abbreviation exceptions — "RAL" for Raleigh but "CLT" for Charlotte),
+//! * `streetAddress ~ mailAddress` at ≈ 18% (address-format exceptions).
+
+use crate::generic::{ColumnKind, ColumnSpec, Generator};
+
+/// Column index of `municipalityDesc`.
+pub const MUNICIPALITY_DESC: usize = 5;
+/// Column index of `municipalityAbbrv`.
+pub const MUNICIPALITY_ABBRV: usize = 6;
+/// Column index of `streetAddress`.
+pub const STREET_ADDRESS: usize = 7;
+/// Column index of `mailAddress`.
+pub const MAIL_ADDRESS: usize = 8;
+
+/// Total number of columns in the preset (as in the paper's dataset).
+pub const N_COLS: usize = 30;
+
+/// Builds the 30-column ncvoter-like generator.
+pub fn ncvoter(seed: u64) -> Generator {
+    use ColumnKind::*;
+    let specs = vec![
+        ColumnSpec::new("voterRegNum", Key), // 0
+        ColumnSpec::new(
+            "countyId",
+            Zipf {
+                cardinality: 100,
+                s: 1.0,
+            },
+        ), // 1
+        ColumnSpec::new(
+            "countyDesc",
+            MonotoneOf {
+                source: 1,
+                noise_rate: 0.0,
+            },
+        ), // 2
+        ColumnSpec::new(
+            "precinct",
+            RefineOf {
+                parent: 1,
+                fanout: 30,
+            },
+        ), // 3
+        ColumnSpec::new(
+            "zipCode",
+            RefineOf {
+                parent: 1,
+                fanout: 80,
+            },
+        ), // 4
+        ColumnSpec::new(
+            "municipalityDesc",
+            Zipf {
+                cardinality: 600,
+                s: 1.1,
+            },
+        ), // 5
+        ColumnSpec::new(
+            "municipalityAbbrv",
+            MonotoneOf {
+                source: 5,
+                noise_rate: 0.19,
+            },
+        ), // 6
+        ColumnSpec::new(
+            "streetAddress",
+            Uniform {
+                cardinality: 50_000,
+            },
+        ), // 7
+        ColumnSpec::new(
+            "mailAddress",
+            NoisyCopyOf {
+                source: 7,
+                noise_rate: 0.18,
+            },
+        ), // 8
+        ColumnSpec::new("age", Uniform { cardinality: 90 }), // 9
+        ColumnSpec::new(
+            "ageGroup",
+            CoarsenOf {
+                source: 9,
+                buckets: 8,
+                noise_rate: 0.0,
+            },
+        ), // 10
+        ColumnSpec::new("birthStateId", Uniform { cardinality: 60 }), // 11
+        ColumnSpec::new(
+            "registrDate",
+            Uniform {
+                cardinality: 15_000,
+            },
+        ), // 12
+        ColumnSpec::new(
+            "registrYear",
+            CoarsenOf {
+                source: 12,
+                buckets: 40,
+                noise_rate: 0.0,
+            },
+        ), // 13
+        ColumnSpec::new(
+            "partyCd",
+            Zipf {
+                cardinality: 6,
+                s: 0.8,
+            },
+        ), // 14
+        ColumnSpec::new("genderCode", Uniform { cardinality: 3 }), // 15
+        ColumnSpec::new(
+            "raceCode",
+            Zipf {
+                cardinality: 8,
+                s: 1.0,
+            },
+        ), // 16
+        ColumnSpec::new("ethnicCode", Uniform { cardinality: 4 }), // 17
+        ColumnSpec::new(
+            "statusCd",
+            Zipf {
+                cardinality: 5,
+                s: 1.2,
+            },
+        ), // 18
+        ColumnSpec::new(
+            "reasonCd",
+            RefineOf {
+                parent: 18,
+                fanout: 4,
+            },
+        ), // 19
+        ColumnSpec::new("driversLic", Uniform { cardinality: 2 }), // 20
+        ColumnSpec::new(
+            "phoneNum",
+            Uniform {
+                cardinality: 200_000,
+            },
+        ), // 21
+        ColumnSpec::new(
+            "areaCode",
+            CoarsenOf {
+                source: 21,
+                buckets: 300,
+                noise_rate: 0.01,
+            },
+        ), // 22
+        ColumnSpec::new(
+            "precinctDesc",
+            MonotoneOf {
+                source: 3,
+                noise_rate: 0.0,
+            },
+        ), // 23
+        ColumnSpec::new(
+            "wardId",
+            RefineOf {
+                parent: 1,
+                fanout: 12,
+            },
+        ), // 24
+        ColumnSpec::new(
+            "wardDesc",
+            MonotoneOf {
+                source: 24,
+                noise_rate: 0.0,
+            },
+        ), // 25
+        ColumnSpec::new(
+            "congDist",
+            CoarsenOf {
+                source: 3,
+                buckets: 14,
+                noise_rate: 0.0,
+            },
+        ), // 26
+        ColumnSpec::new(
+            "superCourt",
+            CoarsenOf {
+                source: 3,
+                buckets: 30,
+                noise_rate: 0.0,
+            },
+        ), // 27
+        ColumnSpec::new(
+            "townshipId",
+            RefineOf {
+                parent: 5,
+                fanout: 5,
+            },
+        ), // 28
+        ColumnSpec::new(
+            "townshipDesc",
+            MonotoneOf {
+                source: 28,
+                noise_rate: 0.02,
+            },
+        ), // 29
+    ];
+    Generator::new(specs, seed)
+}
+
+/// The default 10-attribute projection used by most experiments: covers the
+/// two planted AOCs, several exact hierarchies, and skewed categoricals.
+pub const DEFAULT_10: [usize; 10] = [
+    1, // countyId
+    2, // countyDesc
+    MUNICIPALITY_DESC,
+    MUNICIPALITY_ABBRV,
+    STREET_ADDRESS,
+    MAIL_ADDRESS,
+    9,  // age
+    10, // ageGroup
+    14, // partyCd
+    18, // statusCd
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_partition::Partition;
+    use aod_validate::OcValidator;
+
+    #[test]
+    fn has_30_named_columns() {
+        let g = ncvoter(1);
+        assert_eq!(g.n_cols(), N_COLS);
+        assert_eq!(g.names()[MUNICIPALITY_ABBRV], "municipalityAbbrv");
+        assert_eq!(g.names()[MAIL_ADDRESS], "mailAddress");
+    }
+
+    #[test]
+    fn planted_municipality_aoc_holds_at_20_percent_not_below() {
+        let n = 4000;
+        let t = ncvoter(11).ranked(n);
+        let mut v = OcValidator::new();
+        let removed = v
+            .min_removal_optimal(
+                &Partition::unit(n),
+                t.column(MUNICIPALITY_ABBRV).ranks(),
+                t.column(MUNICIPALITY_DESC).ranks(),
+                usize::MAX,
+            )
+            .unwrap();
+        let factor = removed as f64 / n as f64;
+        assert!(factor > 0.05 && factor < 0.20, "factor {factor}");
+    }
+
+    #[test]
+    fn address_columns_mostly_agree() {
+        let n = 4000;
+        let t = ncvoter(13).ranked(n);
+        let mut v = OcValidator::new();
+        let removed = v
+            .min_removal_optimal(
+                &Partition::unit(n),
+                t.column(STREET_ADDRESS).ranks(),
+                t.column(MAIL_ADDRESS).ranks(),
+                usize::MAX,
+            )
+            .unwrap();
+        let factor = removed as f64 / n as f64;
+        assert!(factor > 0.05 && factor < 0.19, "factor {factor}");
+    }
+
+    #[test]
+    fn county_hierarchy_is_exact() {
+        let t = ncvoter(5).ranked(1000);
+        // precinct |-> countyId and wardId |-> countyId by construction.
+        assert!(aod_validate::list_od_holds(&t, &[3], &[1]));
+        assert!(aod_validate::list_od_holds(&t, &[24], &[1]));
+        // countyId ~ countyDesc exactly.
+        let mut v = OcValidator::new();
+        assert!(v.exact_oc_holds(
+            &Partition::unit(1000),
+            t.column(1).ranks(),
+            t.column(2).ranks()
+        ));
+    }
+
+    #[test]
+    fn default_projection_is_valid() {
+        assert_eq!(DEFAULT_10.len(), 10);
+        assert!(DEFAULT_10.iter().all(|&c| c < N_COLS));
+    }
+}

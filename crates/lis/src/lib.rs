@@ -1,0 +1,33 @@
+//! # aod-lis — subsequence and inversion algorithms
+//!
+//! The algorithmic substrate behind both AOC validators of the paper:
+//!
+//! * [`lnds_indices`] / [`lis_indices`] — longest non-decreasing / strictly
+//!   increasing subsequence in `O(m log m)` (patience/Fredman), the core of
+//!   the **optimal** validator (Algorithm 2).
+//! * [`count_inversions`] / [`per_element_inversions`] — merge-sort and
+//!   Fenwick-tree inversion counting, the core of the **iterative** baseline
+//!   validator (Algorithm 1).
+//!
+//! Brute-force reference implementations ([`lnds_length_brute`],
+//! `per_element_inversions_compressed`'s tests) back the property tests.
+//!
+//! ```
+//! use aod_lis::{lnds_indices, count_inversions};
+//!
+//! let seq = [20u32, 25, 3, 120, 15, 165, 18, 72, 160];
+//! assert_eq!(lnds_indices(&seq).len(), 5); // keep 5, remove 4 (Example 3.2)
+//! assert!(count_inversions(&seq) > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod inversions;
+mod lnds;
+
+pub use inversions::{
+    count_inversions, per_element_inversions, per_element_inversions_compressed, Fenwick,
+};
+pub use lnds::{
+    lis_indices, lis_length, lnds_indices, lnds_length, lnds_length_brute, Monotonicity,
+};

@@ -1,0 +1,203 @@
+//! A level-aware cache of computed partitions.
+//!
+//! The level-wise discovery driver needs, while processing lattice level `ℓ`:
+//!
+//! * `Π_X` for each level-`ℓ` node `X` (built as the product of two cached
+//!   level-`ℓ−1` parents),
+//! * `Π_{X\{A,B}}` (level `ℓ−2`) as the *context* partition for OC
+//!   candidates at node `X`.
+//!
+//! Anything below level `ℓ−2` can be dropped — [`PartitionCache::retain_min_level`]
+//! implements that eviction so peak memory stays at two lattice levels
+//! rather than the whole lattice.
+
+use crate::attrset::{AttrSet, AttrSetMap};
+use crate::stripped::{Partition, ProductScratch};
+use aod_table::RankedTable;
+
+/// Cache of `AttrSet → Partition` with level-based eviction.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    map: AttrSetMap<Partition>,
+    scratch: ProductScratch,
+    /// Statistics: product operations performed (for experiment reporting).
+    n_products: u64,
+}
+
+impl PartitionCache {
+    /// An empty cache.
+    pub fn new() -> PartitionCache {
+        PartitionCache::default()
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of partition products computed so far.
+    pub fn n_products(&self) -> u64 {
+        self.n_products
+    }
+
+    /// Looks up a cached partition.
+    pub fn get(&self, set: AttrSet) -> Option<&Partition> {
+        self.map.get(&set)
+    }
+
+    /// Inserts a partition computed elsewhere.
+    pub fn insert(&mut self, set: AttrSet, partition: Partition) {
+        self.map.insert(set, partition);
+    }
+
+    /// Computes (and caches) the product of two cached sets.
+    ///
+    /// # Panics
+    /// If either operand is missing from the cache — the level-wise driver
+    /// guarantees parents are present before children are built.
+    pub fn product_into(&mut self, lhs: AttrSet, rhs: AttrSet) -> &Partition {
+        let target = lhs.union(rhs);
+        if !self.map.contains_key(&target) {
+            let l = self.map.get(&lhs).expect("lhs partition must be cached");
+            let r = self.map.get(&rhs).expect("rhs partition must be cached");
+            let p = l.product_with_scratch(r, &mut self.scratch);
+            self.n_products += 1;
+            self.map.insert(target, p);
+        }
+        &self.map[&target]
+    }
+
+    /// Ensures `Π_X` is cached, computing it bottom-up from singleton
+    /// columns if needed. Used by one-off validation entry points; the
+    /// discovery driver populates the cache level-wise instead.
+    pub fn ensure(&mut self, table: &RankedTable, set: AttrSet) -> &Partition {
+        if !self.map.contains_key(&set) {
+            let partition = self.build(table, set);
+            self.map.insert(set, partition);
+        }
+        &self.map[&set]
+    }
+
+    fn build(&mut self, table: &RankedTable, set: AttrSet) -> Partition {
+        match set.len() {
+            0 => Partition::unit(table.n_rows()),
+            1 => Partition::from_ranked_column(table.column(set.first().expect("non-empty"))),
+            _ => {
+                let a = set.first().expect("non-empty");
+                let rest = set.without(a);
+                // Recurse on the smaller pieces first (each is cached).
+                if !self.map.contains_key(&rest) {
+                    let p = self.build(table, rest);
+                    self.map.insert(rest, p);
+                }
+                let single = AttrSet::singleton(a);
+                self.map.entry(single).or_insert_with(|| {
+                    let p = Partition::from_ranked_column(table.column(a));
+                    p
+                });
+                let l = &self.map[&rest];
+                let r = &self.map[&single];
+                self.n_products += 1;
+                l.product_with_scratch(r, &mut self.scratch)
+            }
+        }
+    }
+
+    /// Drops all cached partitions of level `< min_level`.
+    pub fn retain_min_level(&mut self, min_level: usize) {
+        self.map.retain(|set, _| set.len() >= min_level);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Approximate resident bytes of cached partitions (for memory
+    /// reporting in experiments).
+    pub fn approx_bytes(&self) -> usize {
+        self.map
+            .values()
+            .map(|p| p.n_grouped_rows() * 4 + (p.n_classes() + 1) * 4)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_table::{employee_table, RankedTable};
+
+    fn ranked() -> RankedTable {
+        RankedTable::from_table(&employee_table())
+    }
+
+    #[test]
+    fn ensure_builds_recursively() {
+        let r = ranked();
+        let mut cache = PartitionCache::new();
+        let set = AttrSet::from_attrs([0, 1, 3]);
+        let p = cache.ensure(&r, set).clone();
+        let direct = Partition::for_attrs(&r, [0, 1, 3]);
+        assert_eq!(p.n_classes(), direct.n_classes());
+        assert_eq!(p.n_grouped_rows(), direct.n_grouped_rows());
+        // Intermediate results are cached too.
+        assert!(cache.get(AttrSet::from_attrs([1, 3])).is_some());
+        assert!(cache.get(AttrSet::singleton(0)).is_some());
+    }
+
+    #[test]
+    fn product_into_caches_target() {
+        let r = ranked();
+        let mut cache = PartitionCache::new();
+        cache.ensure(&r, AttrSet::singleton(0));
+        cache.ensure(&r, AttrSet::singleton(3));
+        let before = cache.n_products();
+        cache.product_into(AttrSet::singleton(0), AttrSet::singleton(3));
+        assert_eq!(cache.n_products(), before + 1);
+        // second call is a cache hit
+        cache.product_into(AttrSet::singleton(0), AttrSet::singleton(3));
+        assert_eq!(cache.n_products(), before + 1);
+        assert!(cache.get(AttrSet::from_attrs([0, 3])).is_some());
+    }
+
+    #[test]
+    fn eviction_by_level() {
+        let r = ranked();
+        let mut cache = PartitionCache::new();
+        cache.ensure(&r, AttrSet::EMPTY);
+        cache.ensure(&r, AttrSet::singleton(0));
+        cache.ensure(&r, AttrSet::from_attrs([0, 1]));
+        cache.ensure(&r, AttrSet::from_attrs([0, 1, 3]));
+        cache.retain_min_level(2);
+        assert!(cache.get(AttrSet::EMPTY).is_none());
+        assert!(cache.get(AttrSet::singleton(0)).is_none());
+        assert!(cache.get(AttrSet::from_attrs([0, 1])).is_some());
+        assert!(cache.get(AttrSet::from_attrs([0, 1, 3])).is_some());
+    }
+
+    #[test]
+    fn unit_partition_for_empty_set() {
+        let r = ranked();
+        let mut cache = PartitionCache::new();
+        let p = cache.ensure(&r, AttrSet::EMPTY);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.class(0).len(), 9);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let r = ranked();
+        let mut cache = PartitionCache::new();
+        cache.ensure(&r, AttrSet::singleton(0));
+        assert!(cache.approx_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Minimal RFC-4180-style CSV reader/writer.
+//!
+//! Hand-rolled (the workspace's offline dependency policy excludes the `csv`
+//! crate) but complete for the datasets this project handles: quoted fields,
+//! embedded separators/newlines/escaped quotes, configurable delimiter, CRLF
+//! tolerance, and per-column type inference through [`Value::parse`].
+
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::Value;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: u8,
+    /// Whether the first record is a header (default `true`). Without a
+    /// header, columns are named `c0, c1, ...`.
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            has_header: true,
+        }
+    }
+}
+
+/// Parses CSV text into records of string fields.
+///
+/// # Errors
+/// [`TableError::Csv`] on an unterminated quoted field.
+pub fn parse_records(input: &str, delimiter: u8) -> Result<Vec<Vec<String>>, TableError> {
+    let bytes = input.as_bytes();
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut any_field_on_line = false;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            match b {
+                b'"' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        in_quotes = false;
+                        i += 1;
+                    }
+                }
+                b'\n' => {
+                    field.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    // Push the full UTF-8 character, not just the byte.
+                    let ch_len = utf8_len(b);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        } else {
+            match b {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    any_field_on_line = true;
+                    i += 1;
+                }
+                b'\r' => {
+                    i += 1; // tolerate CRLF; the LF branch ends the record
+                }
+                b'\n' => {
+                    if any_field_on_line || !field.is_empty() || !record.is_empty() {
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                    }
+                    any_field_on_line = false;
+                    line += 1;
+                    i += 1;
+                }
+                d if d == delimiter => {
+                    record.push(std::mem::take(&mut field));
+                    any_field_on_line = true;
+                    i += 1;
+                }
+                _ => {
+                    let ch_len = utf8_len(b);
+                    field.push_str(&input[i..i + ch_len]);
+                    any_field_on_line = true;
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any_field_on_line || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Reads a [`Table`] from CSV text.
+///
+/// # Errors
+/// [`TableError::Csv`] for malformed input, [`TableError::RowArity`] when a
+/// record's field count differs from the header's.
+pub fn read_str(input: &str, options: &CsvOptions) -> Result<Table, TableError> {
+    let mut records = parse_records(input, options.delimiter)?;
+    if records.is_empty() {
+        return Table::from_rows::<&str>(&[], Vec::new());
+    }
+    let names: Vec<String> = if options.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("c{i}")).collect()
+    };
+    let expected = names.len();
+    let mut rows = Vec::with_capacity(records.len());
+    for (idx, rec) in records.into_iter().enumerate() {
+        if rec.len() != expected {
+            return Err(TableError::RowArity {
+                row: idx + if options.has_header { 2 } else { 1 },
+                found: rec.len(),
+                expected,
+            });
+        }
+        rows.push(rec.iter().map(|f| Value::parse(f)).collect());
+    }
+    Table::from_rows(&names, rows)
+}
+
+/// Reads a [`Table`] from any reader.
+///
+/// # Errors
+/// Propagates I/O errors plus everything [`read_str`] returns.
+pub fn read_from<R: Read>(reader: R, options: &CsvOptions) -> Result<Table, TableError> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    read_str(&buf, options)
+}
+
+/// Reads a [`Table`] from a file path.
+///
+/// # Errors
+/// Propagates I/O errors plus everything [`read_str`] returns.
+pub fn read_path<P: AsRef<Path>>(path: P, options: &CsvOptions) -> Result<Table, TableError> {
+    read_from(File::open(path)?, options)
+}
+
+/// Quotes a field if it contains the delimiter, quotes or newlines.
+fn quote_field(field: &str, delimiter: u8) -> String {
+    let needs_quotes = field
+        .bytes()
+        .any(|b| b == delimiter || b == b'"' || b == b'\n' || b == b'\r');
+    if needs_quotes {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes a [`Table`] as CSV (header included).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_to<W: Write>(
+    table: &Table,
+    writer: W,
+    options: &CsvOptions,
+) -> Result<(), TableError> {
+    let mut w = BufWriter::new(writer);
+    let d = options.delimiter as char;
+    if options.has_header {
+        let header: Vec<String> = table
+            .schema()
+            .names()
+            .iter()
+            .map(|n| quote_field(n, options.delimiter))
+            .collect();
+        writeln!(w, "{}", header.join(&d.to_string()))?;
+    }
+    let mut line = String::new();
+    for r in 0..table.n_rows() {
+        line.clear();
+        for c in 0..table.n_cols() {
+            if c > 0 {
+                line.push(d);
+            }
+            line.push_str(&quote_field(
+                &table.value(r, c).to_string(),
+                options.delimiter,
+            ));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a [`Table`] to a file path as CSV.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_path<P: AsRef<Path>>(
+    table: &Table,
+    path: P,
+    options: &CsvOptions,
+) -> Result<(), TableError> {
+    write_to(table, File::create(path)?, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    #[test]
+    fn parses_simple_csv() {
+        let t = read_str("a,b\n1,x\n2,y\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "b"]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(0, 0), &Value::Int(1));
+        assert_eq!(t.value(1, 1), &Value::from("y"));
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        let t = read_str(
+            "name,note\n\"Smith, John\",\"said \"\"hi\"\"\"\n\"multi\nline\",plain\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.value(0, 0), &Value::from("Smith, John"));
+        assert_eq!(t.value(0, 1), &Value::from("said \"hi\""));
+        assert_eq!(t.value(1, 0), &Value::from("multi\nline"));
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let t = read_str("a,b\r\n1,2\r\n3,4", &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(1, 1), &Value::Int(4));
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["c0", "c1"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions {
+            delimiter: b';',
+            ..CsvOptions::default()
+        };
+        let t = read_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(t.value(0, 1), &Value::Int(2));
+    }
+
+    #[test]
+    fn type_inference_over_rows() {
+        let t = read_str("a,b,c\n1,1.5,x\n2,,y\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().column(0).ty, ValueType::Int);
+        assert_eq!(t.schema().column(1).ty, ValueType::Float);
+        assert_eq!(t.schema().column(2).ty, ValueType::Str);
+        assert!(t.value(1, 1).is_null());
+    }
+
+    #[test]
+    fn arity_errors_report_row_numbers() {
+        let err = read_str("a,b\n1,2\n3\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::RowArity {
+                row: 3,
+                found: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = read_str("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let t = read_str("name,qty\n\"a,b\",3\nplain,4\n", &CsvOptions::default()).unwrap();
+        let mut out = Vec::new();
+        write_to(&t, &mut out, &CsvOptions::default()).unwrap();
+        let back = read_str(std::str::from_utf8(&out).unwrap(), &CsvOptions::default()).unwrap();
+        assert_eq!(back.n_rows(), t.n_rows());
+        assert_eq!(back.value(0, 0), &Value::from("a,b"));
+        assert_eq!(back.value(1, 1), &Value::Int(4));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = read_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 0);
+    }
+
+    #[test]
+    fn unicode_fields_survive() {
+        let t = read_str("a\nhéllo\n日本語\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, 0), &Value::from("héllo"));
+        assert_eq!(t.value(1, 0), &Value::from("日本語"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Order-preserving dense rank encoding.
+//!
+//! Every algorithm in this workspace (partitioning, swap detection, LNDS)
+//! depends only on the *relative order* of values within a column, never on
+//! the values themselves. [`RankedTable`] therefore dictionary-encodes each
+//! column once, mapping values to dense `u32` ranks `0..n_distinct` such that
+//! `rank(v1) < rank(v2)` iff `v1 < v2` under the [`crate::value::Value`]
+//! total order.
+//!
+//! After encoding, all hot paths operate on flat `&[u32]` slices: cache
+//! friendly, branch-predictable comparisons, and no `Value` clones. This is
+//! the same trick the original FASTOD implementation and TANE use
+//! ("translating to integers" before building partitions).
+
+use crate::table::Table;
+
+/// A single rank-encoded column.
+#[derive(Debug, Clone)]
+pub struct RankedColumn {
+    ranks: Vec<u32>,
+    n_distinct: u32,
+    /// For each rank, the index of one source row holding that rank
+    /// (used to decode ranks back into printable values).
+    witness: Vec<u32>,
+}
+
+impl RankedColumn {
+    /// The dense ranks, one per row.
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// Number of distinct values in the column.
+    pub fn n_distinct(&self) -> u32 {
+        self.n_distinct
+    }
+
+    /// The rank of row `row`.
+    #[inline]
+    pub fn rank(&self, row: usize) -> u32 {
+        self.ranks[row]
+    }
+
+    /// One row index whose value has the given rank.
+    pub fn witness_row(&self, rank: u32) -> usize {
+        self.witness[rank as usize] as usize
+    }
+}
+
+/// A table with every column rank-encoded.
+#[derive(Debug, Clone)]
+pub struct RankedTable {
+    columns: Vec<RankedColumn>,
+    n_rows: usize,
+}
+
+impl RankedTable {
+    /// Rank-encodes every column of `table`.
+    ///
+    /// Cost: `O(c · n log n)` for `c` columns and `n` rows (one sort per
+    /// column).
+    pub fn from_table(table: &Table) -> RankedTable {
+        let n = table.n_rows();
+        let mut columns = Vec::with_capacity(table.n_cols());
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for c in 0..table.n_cols() {
+            let col = table.column(c);
+            order.sort_unstable_by(|&a, &b| col[a as usize].cmp(&col[b as usize]));
+            let mut ranks = vec![0u32; n];
+            let mut witness = Vec::new();
+            let mut next_rank: u32 = 0;
+            for (i, &row) in order.iter().enumerate() {
+                if i > 0 {
+                    let prev = order[i - 1] as usize;
+                    if col[prev] != col[row as usize] {
+                        next_rank += 1;
+                    }
+                }
+                if witness.len() == next_rank as usize {
+                    witness.push(row);
+                }
+                ranks[row as usize] = next_rank;
+            }
+            let n_distinct = if n == 0 { 0 } else { next_rank + 1 };
+            columns.push(RankedColumn {
+                ranks,
+                n_distinct,
+                witness,
+            });
+            // reset for next column
+            for (i, slot) in order.iter_mut().enumerate() {
+                *slot = i as u32;
+            }
+        }
+        RankedTable { columns, n_rows: n }
+    }
+
+    /// Builds a ranked table directly from raw `u32` columns, densifying the
+    /// values so ranks are `0..n_distinct`. Useful for synthetic workloads
+    /// and benchmarks that never materialise `Value`s.
+    pub fn from_u32_columns(cols: Vec<Vec<u32>>) -> RankedTable {
+        let n = cols.first().map_or(0, Vec::len);
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "all columns must have equal length"
+        );
+        let mut columns = Vec::with_capacity(cols.len());
+        for col in cols {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by_key(|&r| col[r as usize]);
+            let mut ranks = vec![0u32; n];
+            let mut witness = Vec::new();
+            let mut next_rank: u32 = 0;
+            for (i, &row) in order.iter().enumerate() {
+                if i > 0 && col[order[i - 1] as usize] != col[row as usize] {
+                    next_rank += 1;
+                }
+                if witness.len() == next_rank as usize {
+                    witness.push(row);
+                }
+                ranks[row as usize] = next_rank;
+            }
+            let n_distinct = if n == 0 { 0 } else { next_rank + 1 };
+            columns.push(RankedColumn {
+                ranks,
+                n_distinct,
+                witness,
+            });
+        }
+        RankedTable { columns, n_rows: n }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// A rank-encoded column.
+    pub fn column(&self, idx: usize) -> &RankedColumn {
+        &self.columns[idx]
+    }
+
+    /// The rank of `(row, col)`.
+    #[inline]
+    pub fn rank(&self, row: usize, col: usize) -> u32 {
+        self.columns[col].ranks[row]
+    }
+
+    /// Restricts the ranked table to its first `n_cols` columns — cheap way
+    /// for experiments to sweep over attribute-count without re-encoding.
+    pub fn with_first_columns(&self, n_cols: usize) -> RankedTable {
+        RankedTable {
+            columns: self.columns[..n_cols.min(self.columns.len())].to_vec(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Restricts the ranked table to its first `n` rows, re-densifying ranks.
+    pub fn head(&self, n: usize) -> RankedTable {
+        let k = n.min(self.n_rows);
+        RankedTable::from_u32_columns(self.columns.iter().map(|c| c.ranks[..k].to_vec()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::employee_table;
+    use crate::value::Value;
+
+    fn ranks_preserve_order(table: &Table, ranked: &RankedTable) {
+        for c in 0..table.n_cols() {
+            let col = table.column(c);
+            for i in 0..table.n_rows() {
+                for j in 0..table.n_rows() {
+                    let vcmp = col[i].cmp(&col[j]);
+                    let rcmp = ranked.rank(i, c).cmp(&ranked.rank(j, c));
+                    assert_eq!(vcmp, rcmp, "col {c}, rows {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_preserves_order_on_employee_table() {
+        let t = employee_table();
+        let r = RankedTable::from_table(&t);
+        assert_eq!(r.n_rows(), 9);
+        assert_eq!(r.n_cols(), 7);
+        ranks_preserve_order(&t, &r);
+    }
+
+    #[test]
+    fn ranks_are_dense() {
+        let t = Table::from_rows(
+            &["a"],
+            vec![
+                vec![Value::Int(100)],
+                vec![Value::Int(5)],
+                vec![Value::Int(100)],
+                vec![Value::Int(7)],
+            ],
+        )
+        .unwrap();
+        let r = RankedTable::from_table(&t);
+        assert_eq!(r.column(0).ranks(), &[2, 0, 2, 1]);
+        assert_eq!(r.column(0).n_distinct(), 3);
+    }
+
+    #[test]
+    fn witness_rows_decode_ranks() {
+        let t = employee_table();
+        let r = RankedTable::from_table(&t);
+        let col = r.column(2); // sal
+        for row in 0..t.n_rows() {
+            let rank = col.rank(row);
+            let w = col.witness_row(rank);
+            assert_eq!(t.value(w, 2), t.value(row, 2));
+        }
+    }
+
+    #[test]
+    fn nulls_rank_lowest() {
+        let t = Table::from_rows(
+            &["a"],
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(0)]],
+        )
+        .unwrap();
+        let r = RankedTable::from_table(&t);
+        assert_eq!(r.column(0).ranks(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn from_u32_columns_densifies() {
+        let r = RankedTable::from_u32_columns(vec![vec![10, 3, 10, 99]]);
+        assert_eq!(r.column(0).ranks(), &[1, 0, 1, 2]);
+        assert_eq!(r.column(0).n_distinct(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_u32_columns_rejects_ragged() {
+        RankedTable::from_u32_columns(vec![vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    fn head_and_column_subset() {
+        let r = RankedTable::from_u32_columns(vec![vec![5, 4, 3, 2, 1], vec![1, 1, 2, 2, 3]]);
+        let h = r.head(3);
+        assert_eq!(h.n_rows(), 3);
+        assert_eq!(h.column(0).ranks(), &[2, 1, 0]);
+        let s = r.with_first_columns(1);
+        assert_eq!(s.n_cols(), 1);
+        assert_eq!(s.n_rows(), 5);
+    }
+
+    #[test]
+    fn empty_table() {
+        let r = RankedTable::from_u32_columns(vec![vec![]]);
+        assert_eq!(r.n_rows(), 0);
+        assert_eq!(r.column(0).n_distinct(), 0);
+    }
+}

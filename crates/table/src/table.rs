@@ -1,0 +1,404 @@
+//! Columnar in-memory tables.
+//!
+//! A [`Table`] stores one `Vec<Value>` per column. It is the user-facing
+//! representation: algorithms never run on it directly — they run on a
+//! [`crate::ranked::RankedTable`] derived from it — but discovery results
+//! refer back to the table for column names and example values.
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::value::{Value, ValueType};
+
+/// A columnar table: a schema plus one value vector per column.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Builds a table from a schema and columns.
+    ///
+    /// # Errors
+    /// Returns [`TableError::ColumnLength`] when the column vectors disagree
+    /// in length or their count differs from the schema.
+    pub fn new(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Self, TableError> {
+        if columns.len() != schema.len() {
+            return Err(TableError::ColumnLength {
+                column: "<schema>".into(),
+                found: columns.len(),
+                expected: schema.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(TableError::ColumnLength {
+                    column: schema.name(i).to_string(),
+                    found: col.len(),
+                    expected: n_rows,
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Builds a table from rows (convenient for tests and examples).
+    ///
+    /// # Errors
+    /// Returns [`TableError::RowArity`] when a row length differs from the
+    /// header length, or [`TableError::DuplicateColumn`] for bad headers.
+    pub fn from_rows<S: AsRef<str>>(
+        names: &[S],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, TableError> {
+        let schema = Schema::from_names(names)?;
+        let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); names.len()];
+        for (r, row) in rows.into_iter().enumerate() {
+            if row.len() != names.len() {
+                return Err(TableError::RowArity {
+                    row: r + 1,
+                    found: row.len(),
+                    expected: names.len(),
+                });
+            }
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        let mut t = Table::new(schema, columns)?;
+        t.infer_types();
+        Ok(t)
+    }
+
+    /// Re-infers column types from the data.
+    pub fn infer_types(&mut self) {
+        for (i, col) in self.columns.iter().enumerate() {
+            let ty = col
+                .iter()
+                .fold(ValueType::Null, |acc, v| acc.unify(ValueType::of(v)));
+            self.schema.set_type(i, ty);
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// A column by index.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// A column by name.
+    ///
+    /// # Errors
+    /// [`TableError::UnknownColumn`] when no column carries that name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value], TableError> {
+        self.schema
+            .index_of(name)
+            .map(|i| self.columns[i].as_slice())
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    }
+
+    /// The value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// Materialises a single row.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// A new table containing only the given columns, in the given order.
+    ///
+    /// # Errors
+    /// [`TableError::ColumnIndex`] for an out-of-range index.
+    pub fn project(&self, indices: &[usize]) -> Result<Table, TableError> {
+        for &i in indices {
+            if i >= self.n_cols() {
+                return Err(TableError::ColumnIndex(i));
+            }
+        }
+        Ok(Table {
+            schema: self.schema.project(indices),
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// A new table containing only the first `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let k = n.min(self.n_rows);
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c[..k].to_vec()).collect(),
+            n_rows: k,
+        }
+    }
+
+    /// A new table containing only the rows whose indices are given.
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| rows.iter().map(|&r| c[r].clone()).collect())
+                .collect(),
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Appends a row to the table.
+    ///
+    /// # Errors
+    /// [`TableError::RowArity`] if the row length mismatches the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
+        if row.len() != self.n_cols() {
+            return Err(TableError::RowArity {
+                row: self.n_rows + 1,
+                found: row.len(),
+                expected: self.n_cols(),
+            });
+        }
+        for (c, v) in row.into_iter().enumerate() {
+            self.columns[c].push(v);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Mutable access to a column (used by error injectors in `aod-datagen`).
+    pub fn column_mut(&mut self, idx: usize) -> &mut Vec<Value> {
+        &mut self.columns[idx]
+    }
+}
+
+/// Convenience macro-free builder for small literal tables in tests.
+///
+/// ```
+/// use aod_table::{Table, Value};
+/// let t = Table::from_rows(
+///     &["a", "b"],
+///     vec![
+///         vec![Value::Int(1), Value::from("x")],
+///         vec![Value::Int(2), Value::from("y")],
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(t.n_rows(), 2);
+/// ```
+#[allow(dead_code)]
+struct _DocTestAnchor;
+
+/// The running example of the paper (Table 1, employee salaries).
+///
+/// Used throughout tests, docs and the quickstart example. Columns:
+/// `pos, exp, sal, taxGrp, perc, tax, bonus`; 9 tuples `t1..t9`.
+pub fn employee_table() -> Table {
+    let rows: Vec<Vec<Value>> = vec![
+        // pos     exp  sal      taxGrp perc  tax      bonus
+        vec![
+            "sec".into(),
+            1.into(),
+            20_000.into(),
+            "A".into(),
+            10.into(),
+            2_000.into(),
+            1_000.into(),
+        ],
+        vec![
+            "sec".into(),
+            3.into(),
+            25_000.into(),
+            "A".into(),
+            10.into(),
+            2_500.into(),
+            1_000.into(),
+        ],
+        vec![
+            "dev".into(),
+            1.into(),
+            30_000.into(),
+            "A".into(),
+            1.into(),
+            300.into(),
+            3_000.into(),
+        ],
+        vec![
+            "sec".into(),
+            5.into(),
+            40_000.into(),
+            "B".into(),
+            30.into(),
+            12_000.into(),
+            2_000.into(),
+        ],
+        vec![
+            "dev".into(),
+            3.into(),
+            50_000.into(),
+            "B".into(),
+            3.into(),
+            1_500.into(),
+            4_000.into(),
+        ],
+        vec![
+            "dev".into(),
+            5.into(),
+            55_000.into(),
+            "B".into(),
+            30.into(),
+            16_500.into(),
+            4_000.into(),
+        ],
+        vec![
+            "dev".into(),
+            5.into(),
+            60_000.into(),
+            "B".into(),
+            3.into(),
+            1_800.into(),
+            4_000.into(),
+        ],
+        vec![
+            "dev".into(),
+            (-1).into(),
+            90_000.into(),
+            "C".into(),
+            8.into(),
+            7_200.into(),
+            7_000.into(),
+        ],
+        vec![
+            "dir".into(),
+            8.into(),
+            200_000.into(),
+            "C".into(),
+            8.into(),
+            16_000.into(),
+            10_000.into(),
+        ],
+    ];
+    Table::from_rows(
+        &["pos", "exp", "sal", "taxGrp", "perc", "tax", "bonus"],
+        rows,
+    )
+    .expect("employee table is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_builds_columns() {
+        let t = Table::from_rows(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), "x".into()],
+                vec![Value::Int(2), "y".into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.column(0), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.value(1, 1), &Value::from("y"));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        let err = Table::from_rows(&["a", "b"], vec![vec![Value::Int(1)]]).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::RowArity {
+                row: 1,
+                found: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn new_rejects_unequal_columns() {
+        let s = Schema::from_names(&["a", "b"]).unwrap();
+        let err = Table::new(s, vec![vec![Value::Int(1)], vec![]]).unwrap_err();
+        assert!(matches!(err, TableError::ColumnLength { .. }));
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = Table::from_rows(
+            &["i", "f", "s", "n"],
+            vec![
+                vec![Value::Int(1), Value::Float(0.5), "a".into(), Value::Null],
+                vec![Value::Int(2), Value::Int(3), "b".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.schema().column(0).ty, ValueType::Int);
+        assert_eq!(t.schema().column(1).ty, ValueType::Float);
+        assert_eq!(t.schema().column(2).ty, ValueType::Str);
+        assert_eq!(t.schema().column(3).ty, ValueType::Null);
+    }
+
+    #[test]
+    fn projection_and_head() {
+        let t = employee_table();
+        let p = t.project(&[0, 2]).unwrap();
+        assert_eq!(p.schema().names(), vec!["pos", "sal"]);
+        assert_eq!(p.n_rows(), 9);
+        let h = t.head(3);
+        assert_eq!(h.n_rows(), 3);
+        assert_eq!(h.value(2, 0), &Value::from("dev"));
+        assert!(t.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn take_rows_reorders() {
+        let t = employee_table();
+        let sub = t.take_rows(&[8, 0]);
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.value(0, 0), &Value::from("dir"));
+        assert_eq!(sub.value(1, 0), &Value::from("sec"));
+    }
+
+    #[test]
+    fn push_row_extends() {
+        let mut t = Table::from_rows(&["a"], vec![vec![Value::Int(1)]]).unwrap();
+        t.push_row(vec![Value::Int(2)]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.push_row(vec![]).is_err());
+    }
+
+    #[test]
+    fn employee_table_matches_paper() {
+        let t = employee_table();
+        assert_eq!(t.n_rows(), 9);
+        assert_eq!(t.n_cols(), 7);
+        // t8 is the dev with -1 years of experience and 90K salary.
+        assert_eq!(t.value(7, 1), &Value::Int(-1));
+        assert_eq!(t.value(7, 2), &Value::Int(90_000));
+        // t9 earns 200K in tax group C.
+        assert_eq!(t.value(8, 3), &Value::from("C"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Bidirectional order compatibilities (mixed ascending/descending).
+//!
+//! The discovery framework the paper builds on was extended to
+//! *bidirectional* ODs in [Szlichta et al., VLDBJ'18]: `SELECT … ORDER BY
+//! A asc, B desc` style orders, where each side of an OC may be ascending
+//! or descending. The paper proper stays unidirectional; this module
+//! implements the natural extension for the validators, which is exact:
+//!
+//! a descending attribute is an ascending attribute under the *reversed*
+//! rank order, so validating `A asc ~ B desc` is validating
+//! `A ~ reverse(B)` with the ordinary machinery — including minimality of
+//! the LNDS removal sets, which is order-agnostic.
+
+use crate::oc::OcValidator;
+use aod_partition::Partition;
+
+/// Sort direction of one side of a bidirectional OC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Ascending (the paper's default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl Direction {
+    /// Applies the direction to a dense rank column: identity for `Asc`,
+    /// rank reversal (`n_distinct - 1 - r`) for `Desc`.
+    pub fn apply(self, ranks: &[u32], n_distinct: u32) -> Vec<u32> {
+        match self {
+            Direction::Asc => ranks.to_vec(),
+            Direction::Desc => {
+                let top = n_distinct.saturating_sub(1);
+                ranks.iter().map(|&r| top - r).collect()
+            }
+        }
+    }
+}
+
+/// Minimal removal-set size for the bidirectional AOC
+/// `ctx: A dir_a ~ B dir_b`, with early exit (`None` above `limit`).
+///
+/// `A asc ~ B asc` equals the ordinary OC; `A desc ~ B desc` equals it too
+/// (reversing both sides preserves co-ordering); the mixed cases are the
+/// new ones.
+#[allow(clippy::too_many_arguments)]
+pub fn min_removal_bidirectional(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    a_n_distinct: u32,
+    dir_a: Direction,
+    b_ranks: &[u32],
+    b_n_distinct: u32,
+    dir_b: Direction,
+    limit: usize,
+) -> Option<usize> {
+    // Normalise so that A is ascending: reversing *both* sides of an OC
+    // leaves its swaps unchanged (a swap is an orientation disagreement).
+    let (eff_dir_b, a_owned);
+    let a_eff: &[u32] = match dir_a {
+        Direction::Asc => {
+            eff_dir_b = dir_b;
+            a_ranks
+        }
+        Direction::Desc => {
+            eff_dir_b = match dir_b {
+                Direction::Asc => Direction::Desc,
+                Direction::Desc => Direction::Asc,
+            };
+            a_owned = Direction::Desc.apply(a_ranks, a_n_distinct);
+            &a_owned
+        }
+    };
+    match eff_dir_b {
+        Direction::Asc => validator.min_removal_optimal(ctx, a_eff, b_ranks, limit),
+        Direction::Desc => {
+            let b_rev = Direction::Desc.apply(b_ranks, b_n_distinct);
+            validator.min_removal_optimal(ctx, a_eff, &b_rev, limit)
+        }
+    }
+}
+
+/// Exact validation of the bidirectional OC.
+#[allow(clippy::too_many_arguments)]
+pub fn bidirectional_oc_holds(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    a_n_distinct: u32,
+    dir_a: Direction,
+    b_ranks: &[u32],
+    b_n_distinct: u32,
+    dir_b: Direction,
+) -> bool {
+    min_removal_bidirectional(
+        validator,
+        ctx,
+        a_ranks,
+        a_n_distinct,
+        dir_a,
+        b_ranks,
+        b_n_distinct,
+        dir_b,
+        0,
+    ) == Some(0)
+}
+
+/// Picks, per pair, the direction combination with the smallest removal
+/// count — the bidirectional-discovery primitive ("is there *any* order in
+/// which these two attributes agree?"). Returns
+/// `(dir_b, removal_count)` with `A` fixed ascending (fixing one side loses
+/// no generality: flipping both sides is a no-op).
+pub fn best_direction(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    b_ranks: &[u32],
+    b_n_distinct: u32,
+) -> (Direction, usize) {
+    let asc = validator
+        .min_removal_optimal(ctx, a_ranks, b_ranks, usize::MAX)
+        .expect("no limit");
+    let b_rev = Direction::Desc.apply(b_ranks, b_n_distinct);
+    let desc = validator
+        .min_removal_optimal(ctx, a_ranks, &b_rev, usize::MAX)
+        .expect("no limit");
+    if desc < asc {
+        (Direction::Desc, desc)
+    } else {
+        (Direction::Asc, asc)
+    }
+}
+
+/// A swap w.r.t. a *descending* `B`: the tuples agree in orientation on
+/// `A` and `B` (both strictly increasing together), which contradicts
+/// `B desc`. Exposed for tests and downstream tooling.
+pub fn is_mixed_swap(s: (u32, u32), t: (u32, u32)) -> bool {
+    (s.0 < t.0 && s.1 < t.1) || (t.0 < s.0 && t.1 < s.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swap::is_swap;
+
+    fn unit(n: usize) -> Partition {
+        Partition::unit(n)
+    }
+
+    #[test]
+    fn anti_correlated_columns_need_desc() {
+        // age ascending, birthYear descending: perfectly anti-correlated.
+        let age: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let birth_year: Vec<u32> = vec![4, 3, 2, 1, 0];
+        let mut v = OcValidator::new();
+        let ctx = unit(5);
+        // ascending ~ ascending fails badly...
+        assert!(!v.exact_oc_holds(&ctx, &age, &birth_year));
+        // ...but asc ~ desc holds exactly.
+        assert!(bidirectional_oc_holds(
+            &mut v,
+            &ctx,
+            &age,
+            5,
+            Direction::Asc,
+            &birth_year,
+            5,
+            Direction::Desc
+        ));
+        let (dir, removed) = best_direction(&mut v, &ctx, &age, &birth_year, 5);
+        assert_eq!(dir, Direction::Desc);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn flipping_both_sides_is_identity() {
+        let a = vec![0u32, 2, 1, 3, 1];
+        let b = vec![1u32, 0, 2, 2, 3];
+        let mut v = OcValidator::new();
+        let ctx = unit(5);
+        let asc_asc = min_removal_bidirectional(
+            &mut v,
+            &ctx,
+            &a,
+            4,
+            Direction::Asc,
+            &b,
+            4,
+            Direction::Asc,
+            usize::MAX,
+        );
+        let desc_desc = min_removal_bidirectional(
+            &mut v,
+            &ctx,
+            &a,
+            4,
+            Direction::Desc,
+            &b,
+            4,
+            Direction::Desc,
+            usize::MAX,
+        );
+        assert_eq!(asc_asc, desc_desc);
+        let asc_desc = min_removal_bidirectional(
+            &mut v,
+            &ctx,
+            &a,
+            4,
+            Direction::Asc,
+            &b,
+            4,
+            Direction::Desc,
+            usize::MAX,
+        );
+        let desc_asc = min_removal_bidirectional(
+            &mut v,
+            &ctx,
+            &a,
+            4,
+            Direction::Desc,
+            &b,
+            4,
+            Direction::Asc,
+            usize::MAX,
+        );
+        assert_eq!(asc_desc, desc_asc);
+    }
+
+    #[test]
+    fn approximate_mixed_direction() {
+        // anti-correlated with one exception (position 2).
+        let a: Vec<u32> = vec![0, 1, 2, 3, 4, 5];
+        let b: Vec<u32> = vec![5, 4, 0, 2, 1, 3];
+        let mut v = OcValidator::new();
+        let ctx = unit(6);
+        let (dir, removed) = best_direction(&mut v, &ctx, &a, &b, 6);
+        assert_eq!(dir, Direction::Desc);
+        assert!(removed >= 1 && removed <= 2, "removed {removed}");
+    }
+
+    #[test]
+    fn direction_apply_reverses_order() {
+        let ranks = vec![0u32, 3, 1, 2];
+        assert_eq!(Direction::Asc.apply(&ranks, 4), ranks);
+        assert_eq!(Direction::Desc.apply(&ranks, 4), vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn mixed_swap_predicate() {
+        // co-ordering is the violation under desc-B.
+        assert!(is_mixed_swap((0, 0), (1, 1)));
+        assert!(!is_mixed_swap((0, 1), (1, 0)));
+        assert!(!is_mixed_swap((0, 0), (0, 1)));
+        // consistency: under reversal the ordinary predicate matches.
+        let pairs = [(0u32, 0u32), (1, 1), (2, 0), (0, 2)];
+        let max_b = 2;
+        for &s in &pairs {
+            for &t in &pairs {
+                let rev = |p: (u32, u32)| (p.0, max_b - p.1);
+                assert_eq!(is_mixed_swap(s, t), is_swap(rev(s), rev(t)), "{s:?} {t:?}");
+            }
+        }
+    }
+}

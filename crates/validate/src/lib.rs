@@ -1,0 +1,374 @@
+//! # aod-validate — exact and approximate dependency validators
+//!
+//! Implements Section 3 of *Efficient Discovery of Approximate Order
+//! Dependencies* (EDBT 2021):
+//!
+//! * [`OcValidator`] — the per-candidate engine with three strategies:
+//!   exact swap scan, **Algorithm 2** (LNDS-based, minimal and optimal) and
+//!   **Algorithm 1** (the iterative PVLDB'17 baseline, quadratic and
+//!   non-minimal), plus the descending-tie-break variant for canonical ODs.
+//! * [`min_removal_ofd`] and friends — linear approximate OFD validation
+//!   (TANE's `g₃`).
+//! * [`list_od_holds`] / [`list_od_min_removal`] — list-based `X |-> Y`
+//!   validation through lexicographic projection ranks (footnote 1).
+//! * [`brute_min_removal_oc`] / [`brute_min_removal_od`] — exponential
+//!   ground-truth oracles used by the property-test suites.
+//!
+//! High-level one-shot entry points ([`validate_aoc`], [`validate_aofd`],
+//! [`validate_aod`]) build the context partition on the fly and report an
+//! [`Outcome`] with the approximation factor, mirroring the problem
+//! statement of Section 2.3: *given `r`, `φ` and `ε`, decide whether
+//! `e(φ) ≤ ε`*.
+//!
+//! ```
+//! use aod_table::{employee_table, RankedTable};
+//! use aod_partition::AttrSet;
+//! use aod_validate::{validate_aoc, AocStrategy};
+//!
+//! let t = RankedTable::from_table(&employee_table());
+//! // Example 2.15: e(sal ~ tax) = 4/9 ≈ 0.44.
+//! let out = validate_aoc(&t, AttrSet::EMPTY, 2, 5, 0.5, AocStrategy::Optimal);
+//! assert!(out.is_valid());
+//! assert_eq!(out.removed, Some(4));
+//! ```
+
+#![warn(missing_docs)]
+
+mod bidirectional;
+mod brute;
+mod oc;
+mod od;
+mod ofd;
+mod sampled;
+mod swap;
+
+pub use bidirectional::{
+    best_direction, bidirectional_oc_holds, is_mixed_swap, min_removal_bidirectional, Direction,
+};
+pub use brute::{
+    brute_min_removal_oc, brute_min_removal_od, brute_min_removal_pairs, ViolationKind,
+    MAX_BRUTE_CLASS,
+};
+pub use oc::{OcValidator, PairMode};
+pub use od::{
+    list_oc_holds, list_oc_min_removal, list_od_holds, list_od_min_removal, list_od_removal_set,
+    projection_ranks,
+};
+pub use ofd::{exact_ofd_holds, min_removal_ofd, removal_set_ofd};
+pub use sampled::{min_removal_with_presample, presample, SampleVerdict};
+pub use swap::{
+    count_swaps_brute, is_split, is_swap, pack_asc, pack_desc_b, sorted_pairs_swap_free,
+};
+
+use aod_partition::{AttrSet, Partition};
+use aod_table::RankedTable;
+
+/// The largest removal-set size admissible under threshold `epsilon`:
+/// `e(φ) = |s|/n ≤ ε  ⟺  |s| ≤ ⌊ε·n⌋` (removal sets have integer size).
+///
+/// A small guard absorbs floating-point noise like `0.1 * 30 = 2.9999…`.
+pub fn removal_budget(n_rows: usize, epsilon: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&epsilon),
+        "epsilon must be within [0, 1]"
+    );
+    ((epsilon * n_rows as f64) + 1e-9).floor() as usize
+}
+
+/// Which AOC validation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AocStrategy {
+    /// Algorithm 2 — LNDS-based, minimal removal sets, `O(n log n)`.
+    #[default]
+    Optimal,
+    /// Algorithm 1 — iterative max-swap removal, `O(n log n + εn²)`,
+    /// may overestimate.
+    Iterative,
+}
+
+/// Result of validating one approximate dependency against a threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Removal-set size found, or `None` when validation aborted because
+    /// the count exceeded the budget (the paper's "INVALID").
+    pub removed: Option<usize>,
+    /// The admissible budget `⌊ε·n⌋`.
+    pub budget: usize,
+    /// Table size the factor is relative to.
+    pub n_rows: usize,
+}
+
+impl Outcome {
+    /// `true` iff the dependency holds approximately w.r.t. the threshold.
+    pub fn is_valid(&self) -> bool {
+        matches!(self.removed, Some(r) if r <= self.budget)
+    }
+
+    /// The approximation factor `e(φ) = |s| / n`, when known.
+    pub fn factor(&self) -> Option<f64> {
+        match (self.removed, self.n_rows) {
+            (Some(_), 0) => Some(0.0),
+            (Some(r), n) => Some(r as f64 / n as f64),
+            (None, _) => None,
+        }
+    }
+}
+
+/// Validates the canonical AOC `context: A ~ B` against `epsilon`,
+/// building `Π_context` on the fly.
+pub fn validate_aoc(
+    table: &RankedTable,
+    context: AttrSet,
+    a: usize,
+    b: usize,
+    epsilon: f64,
+    strategy: AocStrategy,
+) -> Outcome {
+    let ctx = Partition::for_attrs(table, context.iter());
+    let budget = removal_budget(table.n_rows(), epsilon);
+    let (ar, br) = (table.column(a).ranks(), table.column(b).ranks());
+    let mut v = OcValidator::new();
+    let removed = match strategy {
+        AocStrategy::Optimal => v.min_removal_optimal(&ctx, ar, br, budget),
+        AocStrategy::Iterative => v.min_removal_iterative(&ctx, ar, br, budget),
+    };
+    Outcome {
+        removed,
+        budget,
+        n_rows: table.n_rows(),
+    }
+}
+
+/// Validates the approximate OFD `context: [] |-> A` against `epsilon`.
+pub fn validate_aofd(table: &RankedTable, context: AttrSet, a: usize, epsilon: f64) -> Outcome {
+    let ctx = Partition::for_attrs(table, context.iter());
+    let budget = removal_budget(table.n_rows(), epsilon);
+    let col = table.column(a);
+    let removed = min_removal_ofd(&ctx, col.ranks(), col.n_distinct(), budget);
+    Outcome {
+        removed,
+        budget,
+        n_rows: table.n_rows(),
+    }
+}
+
+/// Validates the canonical AOD `context: A |-> B` (splits **and** swaps)
+/// against `epsilon`, using the Section 3.3 descending tie-break.
+pub fn validate_aod(
+    table: &RankedTable,
+    context: AttrSet,
+    a: usize,
+    b: usize,
+    epsilon: f64,
+) -> Outcome {
+    let ctx = Partition::for_attrs(table, context.iter());
+    let budget = removal_budget(table.n_rows(), epsilon);
+    let (ar, br) = (table.column(a).ranks(), table.column(b).ranks());
+    let removed = OcValidator::new().min_removal_od(&ctx, ar, br, budget);
+    Outcome {
+        removed,
+        budget,
+        n_rows: table.n_rows(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_table::{employee_table, RankedTable};
+    use proptest::prelude::*;
+
+    #[test]
+    fn removal_budget_boundaries() {
+        assert_eq!(removal_budget(9, 0.0), 0);
+        assert_eq!(removal_budget(9, 1.0), 9);
+        assert_eq!(removal_budget(9, 0.44), 3); // 3.96 floors to 3
+        assert_eq!(removal_budget(9, 4.0 / 9.0), 4); // exactly representable intent
+        assert_eq!(removal_budget(30, 0.1), 3); // fp guard: 0.1*30 = 2.9999…
+        assert_eq!(removal_budget(0, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn removal_budget_rejects_bad_epsilon() {
+        removal_budget(10, 1.5);
+    }
+
+    #[test]
+    fn outcome_semantics() {
+        let valid = Outcome {
+            removed: Some(2),
+            budget: 3,
+            n_rows: 10,
+        };
+        assert!(valid.is_valid());
+        assert_eq!(valid.factor(), Some(0.2));
+        let invalid = Outcome {
+            removed: None,
+            budget: 3,
+            n_rows: 10,
+        };
+        assert!(!invalid.is_valid());
+        assert_eq!(invalid.factor(), None);
+        let over = Outcome {
+            removed: Some(4),
+            budget: 3,
+            n_rows: 10,
+        };
+        assert!(!over.is_valid());
+    }
+
+    #[test]
+    fn paper_example_2_15_through_high_level_api() {
+        let t = RankedTable::from_table(&employee_table());
+        // e(sal ~ tax) = 4/9 ≈ 0.44: valid at ε = 0.45, invalid at ε = 0.40.
+        let hi = validate_aoc(&t, AttrSet::EMPTY, 2, 5, 0.45, AocStrategy::Optimal);
+        assert!(hi.is_valid());
+        assert!((hi.factor().unwrap() - 4.0 / 9.0).abs() < 1e-12);
+        let lo = validate_aoc(&t, AttrSet::EMPTY, 2, 5, 0.40, AocStrategy::Optimal);
+        assert!(!lo.is_valid());
+    }
+
+    #[test]
+    fn iterative_misses_near_threshold_aoc() {
+        // The pattern behind Exp-4: the iterative algorithm overestimates
+        // e(sal ~ tax) as 5/9 ≈ 0.56, so at ε = 0.5 it wrongly rejects.
+        let t = RankedTable::from_table(&employee_table());
+        let opt = validate_aoc(&t, AttrSet::EMPTY, 2, 5, 0.5, AocStrategy::Optimal);
+        let it = validate_aoc(&t, AttrSet::EMPTY, 2, 5, 0.5, AocStrategy::Iterative);
+        assert!(opt.is_valid());
+        assert!(!it.is_valid());
+    }
+
+    #[test]
+    fn aofd_and_aod_high_level() {
+        let t = RankedTable::from_table(&employee_table());
+        // {pos,exp}: [] |-> sal has factor 1/9.
+        let ofd = validate_aofd(&t, AttrSet::from_attrs([0, 1]), 2, 0.2);
+        assert!(ofd.is_valid());
+        assert_eq!(ofd.removed, Some(1));
+        // {}: sal |-> taxGrp holds exactly.
+        let od = validate_aod(&t, AttrSet::EMPTY, 2, 3, 0.0);
+        assert!(od.is_valid());
+        assert_eq!(od.removed, Some(0));
+    }
+
+    /// Strategy: a small table as two rank columns plus a context column
+    /// with few distinct values, so contexts have multiple classes.
+    fn small_instance() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u32>)> {
+        (1usize..14).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0u32..6, n),
+                proptest::collection::vec(0u32..6, n),
+                proptest::collection::vec(0u32..3, n),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Theorem 3.3: Algorithm 2 finds a *minimal* removal set.
+        #[test]
+        fn optimal_oc_matches_brute_force((a, b, ctx_vals) in small_instance()) {
+            let n = a.len();
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let fast = v.min_removal_optimal(&ctx, &a, &b, usize::MAX).unwrap();
+            let brute = brute_min_removal_oc(&ctx, &a, &b);
+            prop_assert_eq!(fast, brute);
+            prop_assert!(fast <= n);
+        }
+
+        /// The OD variant (desc tie-break) is minimal for swap+split removal.
+        #[test]
+        fn optimal_od_matches_brute_force((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let fast = v.min_removal_od(&ctx, &a, &b, usize::MAX).unwrap();
+            let brute = brute_min_removal_od(&ctx, &a, &b);
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// The iterative baseline never *under*estimates (it may overestimate).
+        #[test]
+        fn iterative_upper_bounds_optimal((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let opt = v.min_removal_optimal(&ctx, &a, &b, usize::MAX).unwrap();
+            let it = v.min_removal_iterative(&ctx, &a, &b, usize::MAX).unwrap();
+            prop_assert!(it >= opt);
+        }
+
+        /// The iterative algorithm's removal set, while possibly non-minimal,
+        /// is still a *removal set*: removing it makes the OC hold.
+        #[test]
+        fn iterative_set_repairs_the_oc((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let set = v.removal_set_iterative(&ctx, &a, &b);
+            let keep: Vec<u32> = (0..a.len() as u32).filter(|r| !set.contains(r)).collect();
+            let a2: Vec<u32> = keep.iter().map(|&r| a[r as usize]).collect();
+            let b2: Vec<u32> = keep.iter().map(|&r| b[r as usize]).collect();
+            let c2: Vec<u32> = keep.iter().map(|&r| ctx_vals[r as usize]).collect();
+            let ctx2 = aod_partition::Partition::from_ranks(&c2, 3);
+            prop_assert!(v.exact_oc_holds(&ctx2, &a2, &b2));
+        }
+
+        /// Optimal removal sets repair the OC and match the reported size.
+        #[test]
+        fn optimal_set_repairs_and_matches_count((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let count = v.min_removal_optimal(&ctx, &a, &b, usize::MAX).unwrap();
+            let set = v.removal_set_optimal(&ctx, &a, &b);
+            prop_assert_eq!(set.len(), count);
+            let keep: Vec<u32> = (0..a.len() as u32).filter(|r| !set.contains(r)).collect();
+            let a2: Vec<u32> = keep.iter().map(|&r| a[r as usize]).collect();
+            let b2: Vec<u32> = keep.iter().map(|&r| b[r as usize]).collect();
+            let c2: Vec<u32> = keep.iter().map(|&r| ctx_vals[r as usize]).collect();
+            let ctx2 = aod_partition::Partition::from_ranks(&c2, 3);
+            prop_assert!(v.exact_oc_holds(&ctx2, &a2, &b2));
+        }
+
+        /// Exact validation agrees with "minimal removal set is empty".
+        #[test]
+        fn exact_iff_zero_removals((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let holds = v.exact_oc_holds(&ctx, &a, &b);
+            let removed = v.min_removal_optimal(&ctx, &a, &b, usize::MAX).unwrap();
+            prop_assert_eq!(holds, removed == 0);
+            let od_holds = v.exact_od_holds(&ctx, &a, &b);
+            let od_removed = v.min_removal_od(&ctx, &a, &b, usize::MAX).unwrap();
+            prop_assert_eq!(od_holds, od_removed == 0);
+        }
+
+        /// OCs are symmetric (Definition 2.3): validating A ~ B and B ~ A
+        /// yields the same minimal removal size.
+        #[test]
+        fn oc_is_symmetric((a, b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let mut v = OcValidator::new();
+            let ab = v.min_removal_optimal(&ctx, &a, &b, usize::MAX).unwrap();
+            let ba = v.min_removal_optimal(&ctx, &b, &a, usize::MAX).unwrap();
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// OFD minimal removal matches a brute-force majority count.
+        #[test]
+        fn ofd_matches_majority_rule((a, _b, ctx_vals) in small_instance()) {
+            let ctx = aod_partition::Partition::from_ranks(&ctx_vals, 3);
+            let fast = min_removal_ofd(&ctx, &a, 6, usize::MAX).unwrap();
+            let mut brute = 0usize;
+            for class in ctx.classes() {
+                let mut counts = [0usize; 6];
+                for &row in class {
+                    counts[a[row as usize] as usize] += 1;
+                }
+                brute += class.len() - counts.iter().max().unwrap();
+            }
+            prop_assert_eq!(fast, brute);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! List-based order dependency validation (`X |-> Y` for attribute *lists*).
+//!
+//! Footnote 1 of the paper: the LNDS machinery extends to list-based ODs "by
+//! ordering tuples in ascending order of X and breaking ties using the
+//! descending order over Y". Both sides are lexicographic orders over
+//! projections, i.e. total preorders, so we first **rank-encode each list
+//! projection into a synthetic column** and then reuse the two-column
+//! validators of [`crate::oc`]:
+//!
+//! * a *swap* w.r.t. `X |-> Y` is `s ≺_X t ∧ t ≺_Y s` — visible on the
+//!   encoded ranks;
+//! * a *split* is `s =_X t ∧ s ≠_Y t` — likewise.
+//!
+//! The list-based OC `X ~ Y` (no FD part) maps to the swap-only validator
+//! the same way: by Theorem 4.2 of [Szlichta et al. '12], `X ~ Y` holds iff
+//! the instance contains no swap w.r.t. `X`/`Y`.
+
+use crate::oc::OcValidator;
+use aod_partition::Partition;
+use aod_table::RankedTable;
+
+/// Rank-encodes the lexicographic projection of each row onto the attribute
+/// list `attrs`: returns dense ranks (and their count) such that
+/// `rank(s) < rank(t)` iff `s ≺_attrs t` and `rank(s) == rank(t)` iff
+/// `s =_attrs t` (Definition 2.1's nested order).
+///
+/// `O(n log n · |attrs|)`.
+pub fn projection_ranks(table: &RankedTable, attrs: &[usize]) -> (Vec<u32>, u32) {
+    let n = table.n_rows();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let cmp = |&x: &u32, &y: &u32| {
+        for &a in attrs {
+            let c = table.rank(x as usize, a).cmp(&table.rank(y as usize, a));
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    order.sort_unstable_by(cmp);
+    let mut ranks = vec![0u32; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if i > 0 && cmp(&order[i - 1], &order[i]) != std::cmp::Ordering::Equal {
+            next += 1;
+        }
+        ranks[order[i] as usize] = next;
+    }
+    (ranks, next + 1)
+}
+
+/// Exact validation of the list-based OD `X |-> Y` (Definition 2.2):
+/// for all `s, t`, `s ⪯_X t` implies `s ⪯_Y t`.
+pub fn list_od_holds(table: &RankedTable, x: &[usize], y: &[usize]) -> bool {
+    let (xr, _) = projection_ranks(table, x);
+    let (yr, _) = projection_ranks(table, y);
+    let ctx = Partition::unit(table.n_rows());
+    OcValidator::new().exact_od_holds(&ctx, &xr, &yr)
+}
+
+/// Exact validation of the list-based OC `X ~ Y` (Definition 2.3).
+pub fn list_oc_holds(table: &RankedTable, x: &[usize], y: &[usize]) -> bool {
+    let (xr, _) = projection_ranks(table, x);
+    let (yr, _) = projection_ranks(table, y);
+    let ctx = Partition::unit(table.n_rows());
+    OcValidator::new().exact_oc_holds(&ctx, &xr, &yr)
+}
+
+/// Minimal removal-set size for the approximate list-based OD `X |-> Y`,
+/// with early exit (`None` once above `limit`).
+pub fn list_od_min_removal(
+    table: &RankedTable,
+    x: &[usize],
+    y: &[usize],
+    limit: usize,
+) -> Option<usize> {
+    let (xr, _) = projection_ranks(table, x);
+    let (yr, _) = projection_ranks(table, y);
+    let ctx = Partition::unit(table.n_rows());
+    OcValidator::new().min_removal_od(&ctx, &xr, &yr, limit)
+}
+
+/// Minimal removal set (ascending row ids) for the approximate list-based
+/// OD `X |-> Y`.
+pub fn list_od_removal_set(table: &RankedTable, x: &[usize], y: &[usize]) -> Vec<u32> {
+    let (xr, _) = projection_ranks(table, x);
+    let (yr, _) = projection_ranks(table, y);
+    let ctx = Partition::unit(table.n_rows());
+    OcValidator::new().removal_set_od(&ctx, &xr, &yr)
+}
+
+/// Minimal removal-set size for the approximate list-based OC `X ~ Y`.
+pub fn list_oc_min_removal(
+    table: &RankedTable,
+    x: &[usize],
+    y: &[usize],
+    limit: usize,
+) -> Option<usize> {
+    let (xr, _) = projection_ranks(table, x);
+    let (yr, _) = projection_ranks(table, y);
+    let ctx = Partition::unit(table.n_rows());
+    OcValidator::new().min_removal_optimal(&ctx, &xr, &yr, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_table::{employee_table, RankedTable, Table, Value};
+
+    fn employee() -> RankedTable {
+        RankedTable::from_table(&employee_table())
+    }
+
+    const POS: usize = 0;
+    const EXP: usize = 1;
+    const SAL: usize = 2;
+    const TAXGRP: usize = 3;
+
+    #[test]
+    fn projection_ranks_single_attr_match_column_ranks() {
+        let t = employee();
+        let (r, k) = projection_ranks(&t, &[SAL]);
+        assert_eq!(r, t.column(SAL).ranks());
+        assert_eq!(k, t.column(SAL).n_distinct());
+    }
+
+    #[test]
+    fn projection_ranks_are_lexicographic() {
+        let t = employee();
+        let (r, _) = projection_ranks(&t, &[POS, EXP]);
+        // (dev,-1)=t8 < (dev,1)=t3 < (dev,3)=t5 < (dev,5)={t6,t7} <
+        // (dir,8)=t9 < (sec,1)=t1 < (sec,3)=t2 < (sec,5)=t4
+        assert_eq!(r[7], 0); // t8
+        assert_eq!(r[2], 1); // t3
+        assert_eq!(r[4], 2); // t5
+        assert_eq!(r[5], 3); // t6
+        assert_eq!(r[6], 3); // t7 ties with t6
+        assert_eq!(r[8], 4); // t9
+        assert_eq!(r[0], 5); // t1
+    }
+
+    #[test]
+    fn empty_list_projects_to_one_class() {
+        let t = employee();
+        let (r, k) = projection_ranks(&t, &[]);
+        assert!(r.iter().all(|&v| v == 0));
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn sal_orders_taxgrp_as_list_od() {
+        let t = employee();
+        assert!(list_od_holds(&t, &[SAL], &[TAXGRP]));
+        // but not the converse (no FD taxGrp -> sal).
+        assert!(!list_od_holds(&t, &[TAXGRP], &[SAL]));
+        // order-compatibility holds both ways (Example 2.4).
+        assert!(list_oc_holds(&t, &[TAXGRP], &[SAL]));
+        assert!(list_oc_holds(&t, &[SAL], &[TAXGRP]));
+    }
+
+    #[test]
+    fn intro_example_pos_exp_vs_pos_sal() {
+        // Section 1.1: e([pos,exp] ~ [pos,sal]) = 1/9 with removal set {t8}.
+        let t = employee();
+        assert_eq!(
+            list_oc_min_removal(&t, &[POS, EXP], &[POS, SAL], usize::MAX),
+            Some(1)
+        );
+        // The OD [pos,exp] |-> [pos,sal] additionally suffers the t6/t7
+        // split, so it needs one more removal.
+        assert_eq!(
+            list_od_min_removal(&t, &[POS, EXP], &[POS, SAL], usize::MAX),
+            Some(2)
+        );
+        let set = list_od_removal_set(&t, &[POS, EXP], &[POS, SAL]);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&7)); // t8 must go (swap)
+    }
+
+    #[test]
+    fn removal_set_actually_repairs_the_od() {
+        let t = employee();
+        let set = list_od_removal_set(&t, &[POS, EXP], &[POS, SAL]);
+        let keep: Vec<usize> = (0..9).filter(|&r| !set.contains(&(r as u32))).collect();
+        let repaired = RankedTable::from_table(&employee_table().take_rows(&keep));
+        assert!(list_od_holds(&repaired, &[POS, EXP], &[POS, SAL]));
+    }
+
+    #[test]
+    fn trivial_ods() {
+        let t = employee();
+        // X |-> X always holds; X |-> [] always holds; [] |-> Y holds iff
+        // the whole table is sorted-equal on Y, i.e. Y constant.
+        assert!(list_od_holds(&t, &[SAL], &[SAL]));
+        assert!(list_od_holds(&t, &[SAL], &[]));
+        assert!(!list_od_holds(&t, &[], &[SAL]));
+        let constant = RankedTable::from_table(
+            &Table::from_rows(&["k"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]).unwrap(),
+        );
+        assert!(list_od_holds(&constant, &[], &[0]));
+    }
+
+    #[test]
+    fn prefix_strengthening() {
+        // [A] |-> [A, B] holds iff A -> B as an FD... here: [sal] |-> [sal, pos]
+        // holds because sal is a key.
+        let t = employee();
+        assert!(list_od_holds(&t, &[SAL], &[SAL, POS]));
+    }
+}

@@ -1,0 +1,170 @@
+//! Sampling-based quick rejection of AOC candidates.
+//!
+//! The paper's future-work section points to "new approaches for
+//! discovering approximate OCs, such as hybrid sampling, as done in [6]
+//! for FDs". This module implements the sound half of that idea as a
+//! drop-in pre-check:
+//!
+//! **Lower-bound lemma.** For any subset `S ⊆ r` of the rows, the minimal
+//! removal-set size of an (A)OC on `S` is at most its size on `r`: a
+//! removal set `s` for `r` induces the removal set `s ∩ S` on `S` (removing
+//! the same tuples from fewer rows still leaves no swap). Hence if a
+//! *sample's* minimal removal count already exceeds the full-table budget
+//! `⌊ε·n⌋`, the candidate is invalid — no full validation needed.
+//!
+//! The pre-check can only *reject* early; candidates that pass the sample
+//! still require full validation, so results are bit-identical to the
+//! unsampled pipeline (only faster on very dirty candidates).
+
+use crate::oc::OcValidator;
+use aod_partition::Partition;
+
+/// Outcome of the sampled pre-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleVerdict {
+    /// The sample alone proves the candidate invalid at the given budget.
+    ProvenInvalid,
+    /// The sample is inconclusive — run the full validation.
+    NeedFullValidation,
+}
+
+/// Runs the optimal validator on every `stride`-th row (a systematic
+/// sample) of the context classes and compares the resulting *lower bound*
+/// against the full-table `budget`.
+///
+/// `stride = 1` degenerates to full validation of the bound; typical use
+/// is `stride` in the 4–32 range. The sample keeps every class's selected
+/// rows together, so it remains a valid sub-instance of the same OC.
+pub fn presample(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    b_ranks: &[u32],
+    budget: usize,
+    stride: usize,
+) -> SampleVerdict {
+    let stride = stride.max(1);
+    // Build the sampled sub-partition: every stride-th grouped row, classes
+    // preserved (classes that shrink below 2 rows drop out naturally).
+    let mut elems: Vec<u32> = Vec::new();
+    let mut bounds: Vec<u32> = vec![0];
+    for class in ctx.classes() {
+        let start = elems.len();
+        elems.extend(class.iter().step_by(stride).copied());
+        if elems.len() - start >= 2 {
+            bounds.push(elems.len() as u32);
+        } else {
+            elems.truncate(start);
+        }
+    }
+    let sampled = Partition::from_parts(elems, bounds, ctx.n_rows());
+    match validator.min_removal_optimal(&sampled, a_ranks, b_ranks, budget) {
+        // the sampled lower bound already exceeds the budget
+        None => SampleVerdict::ProvenInvalid,
+        Some(_) => SampleVerdict::NeedFullValidation,
+    }
+}
+
+/// Full validation with the sampling pre-check in front: identical result
+/// to [`OcValidator::min_removal_optimal`], potentially cheaper for very
+/// dirty candidates.
+pub fn min_removal_with_presample(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    b_ranks: &[u32],
+    budget: usize,
+    stride: usize,
+) -> Option<usize> {
+    if presample(validator, ctx, a_ranks, b_ranks, budget, stride) == SampleVerdict::ProvenInvalid {
+        return None;
+    }
+    validator.min_removal_optimal(ctx, a_ranks, b_ranks, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sample_bound_rejects_garbage_pairs() {
+        // a strictly increasing, b strictly decreasing: every pair swaps;
+        // min removal = n - 1. Even a thin sample proves invalidity at a
+        // small budget.
+        let n = 1000usize;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b: Vec<u32> = (0..n as u32).rev().collect();
+        let ctx = Partition::unit(n);
+        let mut v = OcValidator::new();
+        let verdict = presample(&mut v, &ctx, &a, &b, 50, 8);
+        assert_eq!(verdict, SampleVerdict::ProvenInvalid);
+        assert_eq!(
+            min_removal_with_presample(&mut v, &ctx, &a, &b, 50, 8),
+            None
+        );
+    }
+
+    #[test]
+    fn clean_pairs_pass_the_sample() {
+        let n = 1000usize;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b = a.clone();
+        let ctx = Partition::unit(n);
+        let mut v = OcValidator::new();
+        assert_eq!(
+            presample(&mut v, &ctx, &a, &b, 10, 8),
+            SampleVerdict::NeedFullValidation
+        );
+        assert_eq!(
+            min_removal_with_presample(&mut v, &ctx, &a, &b, 10, 8),
+            Some(0)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Soundness: the pre-checked pipeline returns exactly what the
+        /// plain validator returns (the sample can only reject candidates
+        /// whose true count exceeds the budget).
+        #[test]
+        fn presample_never_changes_the_answer(
+            a in proptest::collection::vec(0u32..8, 2..40),
+            b_seed in proptest::collection::vec(0u32..8, 2..40),
+            ctx_vals in proptest::collection::vec(0u32..3, 2..40),
+            budget in 0usize..10,
+            stride in 1usize..6,
+        ) {
+            let n = a.len().min(b_seed.len()).min(ctx_vals.len());
+            let (a, b, c) = (&a[..n], &b_seed[..n], &ctx_vals[..n]);
+            let ctx = Partition::from_ranks(c, 3);
+            let mut v = OcValidator::new();
+            let plain = v.min_removal_optimal(&ctx, a, b, budget);
+            let sampled = min_removal_with_presample(&mut v, &ctx, a, b, budget, stride);
+            prop_assert_eq!(plain, sampled);
+        }
+
+        /// The lemma itself: a sampled sub-instance's minimal removal count
+        /// never exceeds the full instance's.
+        #[test]
+        fn sample_is_a_lower_bound(
+            a in proptest::collection::vec(0u32..8, 2..40),
+            b in proptest::collection::vec(0u32..8, 2..40),
+            stride in 1usize..6,
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let ctx = Partition::unit(n);
+            let mut v = OcValidator::new();
+            let full = v.min_removal_optimal(&ctx, a, b, usize::MAX).unwrap();
+            // sampled instance: every stride-th row
+            let rows: Vec<u32> = (0..n as u32).step_by(stride).collect();
+            let a2: Vec<u32> = rows.iter().map(|&r| a[r as usize]).collect();
+            let b2: Vec<u32> = rows.iter().map(|&r| b[r as usize]).collect();
+            let ctx2 = Partition::unit(a2.len());
+            let sampled = v.min_removal_optimal(&ctx2, &a2, &b2, usize::MAX).unwrap();
+            prop_assert!(sampled <= full);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Head-to-head comparison of the paper's two AOC validators on one
+//! candidate — Algorithm 2 (optimal, LNDS) vs. Algorithm 1 (iterative):
+//! runtime scaling and removal-set minimality (the paper's Section 3 and
+//! Exp-4 in miniature).
+//!
+//! Run with: `cargo run --release --example validator_comparison`
+
+use aod::datagen::{ColumnKind, ColumnSpec, Generator};
+use aod::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!("single-candidate validation: optimal (Alg. 2) vs iterative (Alg. 1)\n");
+    println!(
+        "{:>8}  {:>12} {:>12}  {:>9} {:>9}  {:>8}",
+        "rows", "optimal", "iterative", "opt |s|", "iter |s|", "overest"
+    );
+
+    let mut validator = OcValidator::new();
+    for &rows in &[1_000usize, 4_000, 16_000, 64_000] {
+        // One dirty monotone pair: ~10% of values shuffled out of order.
+        let generator = Generator::new(
+            vec![
+                ColumnSpec::new(
+                    "a",
+                    ColumnKind::Uniform {
+                        cardinality: rows as u32 / 2,
+                    },
+                ),
+                ColumnSpec::new(
+                    "b",
+                    ColumnKind::MonotoneOf {
+                        source: 0,
+                        noise_rate: 0.10,
+                    },
+                ),
+            ],
+            9,
+        );
+        let t = generator.ranked(rows);
+        let ctx = Partition::unit(rows);
+        let (a, b) = (t.column(0).ranks(), t.column(1).ranks());
+
+        let t0 = Instant::now();
+        let opt = validator
+            .min_removal_optimal(&ctx, a, b, usize::MAX)
+            .unwrap();
+        let opt_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let iter = validator
+            .min_removal_iterative(&ctx, a, b, usize::MAX)
+            .unwrap();
+        let iter_time = t0.elapsed();
+
+        println!(
+            "{rows:>8}  {:>12.2?} {:>12.2?}  {opt:>9} {iter:>9}  {:>7.2}%",
+            opt_time,
+            iter_time,
+            100.0 * (iter as f64 - opt as f64) / (opt as f64).max(1.0)
+        );
+    }
+
+    println!(
+        "\nthe iterative baseline grows quadratically (ε·n² swap updates) while \
+         the LNDS validator stays n·log n,"
+    );
+    println!("and its removal sets overestimate the minimum — which can reject true AOCs near the threshold.");
+
+    // The near-threshold miss, concretely (the paper's Exp-4 example shape):
+    let generator = Generator::new(
+        vec![
+            ColumnSpec::new("arrDelay", ColumnKind::Uniform { cardinality: 400 }),
+            ColumnSpec::new(
+                "lateAircraftDelay",
+                ColumnKind::MonotoneOf {
+                    source: 0,
+                    noise_rate: 0.095,
+                },
+            ),
+        ],
+        4242,
+    );
+    let t = generator.ranked(10_000);
+    let eps = 0.06;
+    let opt = validate_aoc(&t, AttrSet::EMPTY, 0, 1, eps, AocStrategy::Optimal);
+    let it = validate_aoc(&t, AttrSet::EMPTY, 0, 1, eps, AocStrategy::Iterative);
+    println!(
+        "\nnear-threshold candidate at ε = {eps}: optimal says {}, iterative says {}",
+        if opt.is_valid() { "VALID" } else { "invalid" },
+        if it.is_valid() { "VALID" } else { "invalid" },
+    );
+    if opt.is_valid() && !it.is_valid() {
+        println!("-> the iterative algorithm misses a true AOC (incompleteness the paper fixes)");
+    }
+}

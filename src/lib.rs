@@ -1,0 +1,70 @@
+//! # aod — efficient discovery of approximate order dependencies
+//!
+//! A Rust reproduction of *Efficient Discovery of Approximate Order
+//! Dependencies* (Karegar, Godfrey, Golab, Kargar, Srivastava, Szlichta —
+//! EDBT 2021). This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`table`] | total-ordered values, columnar tables, CSV, rank encoding |
+//! | [`partition`] | attribute sets, stripped partitions, products, cache |
+//! | [`lis`] | LNDS/LIS (patience), inversion counting |
+//! | [`validate`] | exact + approximate OC/OFD/OD validators (Algorithms 1 & 2) |
+//! | [`core`] | the set-based lattice discovery framework |
+//! | [`tane`] | TANE-style (approximate) FD discovery baseline |
+//! | [`datagen`] | synthetic `flight`/`ncvoter`-shaped workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aod::prelude::*;
+//!
+//! // Table 1 of the paper.
+//! let table = employee_table();
+//! let ranked = RankedTable::from_table(&table);
+//!
+//! // Discover approximate ODs at a 15% threshold with the paper's
+//! // optimal (LNDS-based) validator.
+//! let result = discover(&ranked, &DiscoveryConfig::approximate(0.15));
+//! assert!(result.n_ocs() > 0);
+//!
+//! // Validate one candidate directly: e(sal ~ tax) = 4/9 (Example 2.15).
+//! let outcome = validate_aoc(&ranked, AttrSet::EMPTY, 2, 5, 0.5, AocStrategy::Optimal);
+//! assert_eq!(outcome.removed, Some(4));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Relation substrate (re-export of `aod-table`).
+pub use aod_table as table;
+
+/// Partition machinery (re-export of `aod-partition`).
+pub use aod_partition as partition;
+
+/// Subsequence algorithms (re-export of `aod-lis`).
+pub use aod_lis as lis;
+
+/// Dependency validators (re-export of `aod-validate`).
+pub use aod_validate as validate;
+
+/// Discovery framework (re-export of `aod-core`).
+pub use aod_core as core;
+
+/// TANE baseline (re-export of `aod-tane`).
+pub use aod_tane as tane;
+
+/// Synthetic dataset generators (re-export of `aod-datagen`).
+pub use aod_datagen as datagen;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use aod_core::{
+        discover, AocStrategy, DiscoveryConfig, DiscoveryResult, Mode, OcDep, OfdDep,
+    };
+    pub use aod_partition::{AttrSet, Partition, PartitionCache};
+    pub use aod_table::{employee_table, RankedTable, Schema, Table, Value};
+    pub use aod_validate::{
+        list_od_holds, list_od_min_removal, removal_budget, validate_aoc, validate_aod,
+        validate_aofd, OcValidator, Outcome,
+    };
+}

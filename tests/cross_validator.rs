@@ -1,0 +1,138 @@
+//! Cross-crate consistency at realistic scale: the two AOC validators, the
+//! exact validators, the discovery driver and the TANE baseline must agree
+//! wherever their specifications overlap, on generated flight/ncvoter data.
+
+use aod::datagen::{flight, ncvoter};
+use aod::prelude::*;
+use aod::tane::{tane, TaneConfig};
+use aod_bench::Dataset;
+
+#[test]
+fn validators_agree_on_generated_data() {
+    for ds in [Dataset::Flight, Dataset::Ncvoter] {
+        let table = ds.ranked_10(3_000, 5);
+        let ctx = Partition::unit(table.n_rows());
+        let mut v = OcValidator::new();
+        for a in 0..table.n_cols() {
+            for b in a + 1..table.n_cols() {
+                let (ar, br) = (table.column(a).ranks(), table.column(b).ranks());
+                let exact = v.exact_oc_holds(&ctx, ar, br);
+                let opt = v.min_removal_optimal(&ctx, ar, br, usize::MAX).unwrap();
+                let iter = v.min_removal_iterative(&ctx, ar, br, usize::MAX).unwrap();
+                assert_eq!(exact, opt == 0, "{} ({a},{b})", ds.name());
+                assert!(iter >= opt, "{} ({a},{b})", ds.name());
+                // the OD removal count is at least the OC's (more violations)
+                let od = v.min_removal_od(&ctx, ar, br, usize::MAX).unwrap();
+                assert!(od >= opt, "{} ({a},{b})", ds.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn discovery_ofds_match_tane_in_exact_mode() {
+    // The OFD side of the discovery driver is TANE; in exact mode, on the
+    // same table, both must produce the same (lhs, rhs) set.
+    for ds in [Dataset::Flight, Dataset::Ncvoter] {
+        let table = ds.ranked_10(1_000, 9);
+        let discovery = discover(&table, &DiscoveryConfig::exact());
+        let baseline = tane(&table, &TaneConfig::exact());
+        let mut a: Vec<(u64, usize)> = discovery
+            .ofds
+            .iter()
+            .map(|d| (d.context.bits(), d.rhs))
+            .collect();
+        let mut b: Vec<(u64, usize)> = baseline
+            .fds
+            .iter()
+            .map(|fd| (fd.lhs.bits(), fd.rhs))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "{}", ds.name());
+    }
+}
+
+#[test]
+fn planted_rules_recovered_at_scale() {
+    // flight: arrDelay ~ lateAircraftDelay at < 10%; valid at eps = 0.10.
+    let t = flight::flight(42).ranked(30_000);
+    let out = validate_aoc(
+        &t,
+        AttrSet::EMPTY,
+        flight::ARR_DELAY,
+        flight::LATE_AIRCRAFT_DELAY,
+        0.10,
+        AocStrategy::Optimal,
+    );
+    assert!(out.is_valid(), "factor {:?}", out.factor());
+    assert!(out.factor().unwrap() > 0.0);
+
+    // ncvoter: municipality rule valid at 20%, invalid at 5%.
+    let t = ncvoter::ncvoter(42).ranked(30_000);
+    let at20 = validate_aoc(
+        &t,
+        AttrSet::EMPTY,
+        ncvoter::MUNICIPALITY_ABBRV,
+        ncvoter::MUNICIPALITY_DESC,
+        0.20,
+        AocStrategy::Optimal,
+    );
+    let at5 = validate_aoc(
+        &t,
+        AttrSet::EMPTY,
+        ncvoter::MUNICIPALITY_ABBRV,
+        ncvoter::MUNICIPALITY_DESC,
+        0.05,
+        AocStrategy::Optimal,
+    );
+    assert!(at20.is_valid());
+    assert!(!at5.is_valid());
+}
+
+#[test]
+fn discovery_is_deterministic() {
+    let table = Dataset::Flight.ranked_10(2_000, 11);
+    let r1 = discover(&table, &DiscoveryConfig::approximate(0.1));
+    let r2 = discover(&table, &DiscoveryConfig::approximate(0.1));
+    let key = |r: &DiscoveryResult| -> Vec<(u64, usize, usize, usize)> {
+        r.ocs
+            .iter()
+            .map(|d| (d.context.bits(), d.a, d.b, d.removed))
+            .collect()
+    };
+    assert_eq!(key(&r1), key(&r2));
+    assert_eq!(r1.n_ofds(), r2.n_ofds());
+}
+
+#[test]
+fn interestingness_ranks_planted_rules_highly() {
+    // The planted empty-context AOCs must rank above deep-context ones.
+    let table = Dataset::Ncvoter.ranked_10(10_000, 42);
+    let result = discover(&table, &DiscoveryConfig::approximate(0.20));
+    let ranked = result.ranked_ocs();
+    assert!(!ranked.is_empty());
+    // Ranked list is sorted by interestingness.
+    for w in ranked.windows(2) {
+        assert!(w[0].interestingness() >= w[1].interestingness());
+    }
+    // Top entry must be a low-level (small context) dependency.
+    assert!(ranked[0].level <= 3);
+}
+
+#[test]
+fn timeout_budget_respected_on_iterative_runs() {
+    use std::time::{Duration, Instant};
+    let table = Dataset::Ncvoter.ranked_10(50_000, 4);
+    let t0 = Instant::now();
+    let result = discover(
+        &table,
+        &DiscoveryConfig::approximate_iterative(0.1).with_timeout(Duration::from_millis(500)),
+    );
+    let elapsed = t0.elapsed();
+    assert!(result.stats.timed_out);
+    // One candidate validation can overshoot, but not absurdly (the check
+    // runs between nodes, and a single 50K-row iterative validation is
+    // bounded by the per-class removal loop).
+    assert!(elapsed < Duration::from_secs(120), "elapsed {elapsed:?}");
+}

@@ -1,0 +1,243 @@
+//! Cross-crate property tests: the lattice discovery driver against a
+//! brute-force specification.
+//!
+//! The specification of the discovered AOC set (DESIGN.md §3.4): report
+//! every candidate `C: A ~ B` such that
+//!
+//! 1. its minimal removal set is within the ε-budget (**valid** — decided
+//!    by the provably-minimal Algorithm 2 validator),
+//! 2. the context partition is not a key (R4 — otherwise trivial),
+//! 3. no strict sub-context is valid for the same pair (R2 — implied), and
+//! 4. no attribute of the pair is (approximately) constant in any
+//!    sub-context (R3 — implied by an OFD).
+//!
+//! The driver must report **at least** this set (completeness), and
+//! everything it reports must be valid, non-trivial and R2-minimal
+//! (soundness). In exact mode the two sets coincide exactly; in
+//! approximate mode the driver may additionally report candidates that
+//! rule 4 would have suppressed, because its R3 uses *reported* (TANE-
+//! convention-minimal) OFDs rather than all valid ones — extra output,
+//! never missing output.
+
+use aod_core::{discover, DiscoveryConfig};
+use aod_partition::Partition;
+use aod_table::RankedTable;
+use aod_validate::{min_removal_ofd, removal_budget, OcValidator};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type Candidate = (u64, usize, usize); // (context bits, a, b)
+
+/// The brute-force specification set (rules 1–4 above).
+fn spec_ocs(table: &RankedTable, epsilon: f64) -> BTreeSet<Candidate> {
+    let n_attrs = table.n_cols();
+    let budget = removal_budget(table.n_rows(), epsilon);
+    let mut validator = OcValidator::new();
+
+    let mut partitions: Vec<Partition> = Vec::with_capacity(1 << n_attrs);
+    for bits in 0..(1u64 << n_attrs) {
+        let attrs = (0..n_attrs).filter(|&a| bits & (1 << a) != 0);
+        partitions.push(Partition::for_attrs(table, attrs));
+    }
+
+    let oc_valid = |v: &mut OcValidator, bits: u64, a: usize, b: usize| -> bool {
+        v.min_removal_optimal(
+            &partitions[bits as usize],
+            table.column(a).ranks(),
+            table.column(b).ranks(),
+            budget,
+        )
+        .is_some()
+    };
+    let ofd_valid = |bits: u64, rhs: usize| -> bool {
+        let col = table.column(rhs);
+        min_removal_ofd(
+            &partitions[bits as usize],
+            col.ranks(),
+            col.n_distinct(),
+            budget,
+        )
+        .is_some()
+    };
+
+    let mut out = BTreeSet::new();
+    for bits in 0..(1u64 << n_attrs) {
+        for a in 0..n_attrs {
+            for b in a + 1..n_attrs {
+                if bits & (1 << a) != 0 || bits & (1 << b) != 0 {
+                    continue;
+                }
+                // rule 2: non-key context
+                if partitions[bits as usize].is_key() {
+                    continue;
+                }
+                // rule 1: valid
+                if !oc_valid(&mut validator, bits, a, b) {
+                    continue;
+                }
+                // rule 3: no valid strict sub-context for the same pair
+                let strict_subsets = |sub: u64| sub != bits && sub & bits == sub;
+                let r2 = (0..(1u64 << n_attrs))
+                    .filter(|&sub| strict_subsets(sub))
+                    .any(|sub| oc_valid(&mut validator, sub, a, b));
+                if r2 {
+                    continue;
+                }
+                // rule 4: no valid OFD on a or b in any sub-context
+                let r3 = (0..=bits)
+                    .filter(|&sub| sub & bits == sub)
+                    .any(|sub| ofd_valid(sub, a) || ofd_valid(sub, b));
+                if r3 {
+                    continue;
+                }
+                out.insert((bits, a, b));
+            }
+        }
+    }
+    out
+}
+
+fn driver_ocs(table: &RankedTable, config: &DiscoveryConfig) -> BTreeSet<Candidate> {
+    discover(table, config)
+        .ocs
+        .iter()
+        .map(|d| (d.context.bits(), d.a, d.b))
+        .collect()
+}
+
+/// Checks the two-sided containment (and exact equality for ε = 0).
+fn check_table(columns: Vec<Vec<u32>>, epsilon: f64) -> Result<(), TestCaseError> {
+    let table = RankedTable::from_u32_columns(columns);
+    let n = table.n_rows();
+    let budget = removal_budget(n, epsilon);
+    let spec = spec_ocs(&table, epsilon);
+    let config = if epsilon == 0.0 {
+        DiscoveryConfig::exact()
+    } else {
+        DiscoveryConfig::approximate(epsilon)
+    };
+    let reported = driver_ocs(&table, &config);
+
+    // completeness: spec ⊆ reported
+    for cand in &spec {
+        prop_assert!(
+            reported.contains(cand),
+            "missing spec candidate {cand:?} (eps {epsilon})"
+        );
+    }
+    // soundness: reported candidates are valid, non-trivial, R2-minimal
+    let mut validator = OcValidator::new();
+    for &(bits, a, b) in &reported {
+        let ctx = Partition::for_attrs(
+            &table,
+            (0..table.n_cols()).filter(|&x| bits & (1 << x) != 0),
+        );
+        prop_assert!(!ctx.is_key(), "keyed context reported: {bits:#b} {a} {b}");
+        let removed = validator
+            .min_removal_optimal(
+                &ctx,
+                table.column(a).ranks(),
+                table.column(b).ranks(),
+                usize::MAX,
+            )
+            .expect("no limit");
+        prop_assert!(
+            removed <= budget,
+            "invalid OC reported ({removed} > {budget})"
+        );
+        for &(bits2, a2, b2) in &reported {
+            if (a2, b2) == (a, b) && bits2 != bits {
+                prop_assert!(
+                    bits2 & bits != bits2,
+                    "non-minimal pair: {bits2:#b} ⊆ {bits:#b} for ({a},{b})"
+                );
+            }
+        }
+    }
+    // exact mode: the sets coincide exactly
+    if epsilon == 0.0 {
+        prop_assert_eq!(&reported, &spec);
+    }
+    Ok(())
+}
+
+fn small_table() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (2usize..14, 2usize..5).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..4, rows), cols)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_discovery_matches_spec(columns in small_table()) {
+        check_table(columns, 0.0)?;
+    }
+
+    #[test]
+    fn approximate_discovery_covers_spec(columns in small_table(), pct in 5u32..40) {
+        check_table(columns, pct as f64 / 100.0)?;
+    }
+}
+
+#[test]
+fn employee_exact_matches_spec() {
+    let ranked = RankedTable::from_table(&aod_table::employee_table());
+    // project to 5 columns to keep the 2^5 × pairs brute force quick
+    let table = RankedTable::from_u32_columns(
+        [0usize, 1, 2, 3, 5]
+            .iter()
+            .map(|&c| ranked.column(c).ranks().to_vec())
+            .collect(),
+    );
+    let spec = spec_ocs(&table, 0.0);
+    let reported = driver_ocs(&table, &DiscoveryConfig::exact());
+    assert_eq!(spec, reported);
+}
+
+#[test]
+fn employee_approximate_covers_spec() {
+    let ranked = RankedTable::from_table(&aod_table::employee_table());
+    let table = RankedTable::from_u32_columns(
+        [0usize, 1, 3, 5, 6]
+            .iter()
+            .map(|&c| ranked.column(c).ranks().to_vec())
+            .collect(),
+    );
+    for eps in [0.12, 0.25, 0.45] {
+        let spec = spec_ocs(&table, eps);
+        let reported = driver_ocs(&table, &DiscoveryConfig::approximate(eps));
+        for cand in &spec {
+            assert!(reported.contains(cand), "missing {cand:?} at eps {eps}");
+        }
+    }
+}
+
+#[test]
+fn iterative_driver_reports_subset_of_valid() {
+    // Whatever the iterative validator reports must still be genuinely
+    // valid (its estimates only over-count, so anything accepted within
+    // budget is truly within budget).
+    let ranked = RankedTable::from_table(&aod_table::employee_table());
+    let eps = 0.3;
+    let budget = removal_budget(9, eps);
+    let result = discover(&ranked, &DiscoveryConfig::approximate_iterative(eps));
+    let mut validator = OcValidator::new();
+    for dep in &result.ocs {
+        let ctx = Partition::for_attrs(&ranked, dep.context.iter());
+        let true_removed = validator
+            .min_removal_optimal(
+                &ctx,
+                ranked.column(dep.a).ranks(),
+                ranked.column(dep.b).ranks(),
+                usize::MAX,
+            )
+            .expect("no limit");
+        assert!(
+            true_removed <= dep.removed,
+            "iterative under-reported {dep:?}"
+        );
+        assert!(dep.removed <= budget);
+    }
+}

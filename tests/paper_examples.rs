@@ -1,0 +1,191 @@
+//! End-to-end checks of every worked example in the paper, through the
+//! public facade API. Section/example numbers refer to the EDBT 2021 text.
+
+use aod::prelude::*;
+
+const POS: usize = 0;
+const EXP: usize = 1;
+const SAL: usize = 2;
+const TAXGRP: usize = 3;
+const PERC: usize = 4;
+const TAX: usize = 5;
+const BONUS: usize = 6;
+
+fn ranked() -> RankedTable {
+    RankedTable::from_table(&employee_table())
+}
+
+#[test]
+fn section_1_1_sal_orders_taxgrp() {
+    // "the OD that sal orders taxGrp holds".
+    let t = ranked();
+    assert!(list_od_holds(&t, &[SAL], &[TAXGRP]));
+    // "taxGrp does not order sal as an FD does not hold".
+    assert!(!list_od_holds(&t, &[TAXGRP], &[SAL]));
+}
+
+#[test]
+fn section_1_1_perc_errors_break_sal_tax() {
+    // "the OC that salary is order compatible with tax does not hold".
+    let t = ranked();
+    assert!(!aod::validate::list_oc_holds(&t, &[SAL], &[TAX]));
+    // but perc itself is the dirty column; tax = sal × perc, so within
+    // each (clean) tax group the relation would have held.
+    assert!(!aod::validate::list_oc_holds(&t, &[SAL], &[PERC]));
+}
+
+#[test]
+fn section_1_1_pos_exp_fd_exception() {
+    // "the FD that pos, exp functionally determines sal does not hold, due
+    // to the exception of tuples t6 and t7".
+    let t = ranked();
+    let out = validate_aofd(&t, AttrSet::from_attrs([POS, EXP]), SAL, 0.0);
+    assert!(!out.is_valid());
+    let forgiving = validate_aofd(&t, AttrSet::from_attrs([POS, EXP]), SAL, 1.0 / 9.0);
+    assert!(forgiving.is_valid());
+    assert_eq!(forgiving.removed, Some(1));
+}
+
+#[test]
+fn section_1_1_minimal_removal_set_intro_example() {
+    // "for Table 1 and the OC that pos, exp is order compatible with
+    // pos, sal, the minimal removal set and the approximation factor are
+    // {t8} and 1/9 ≈ 0.11".
+    let t = ranked();
+    let removed = aod::validate::list_oc_min_removal(&t, &[POS, EXP], &[POS, SAL], usize::MAX)
+        .expect("no limit");
+    assert_eq!(removed, 1);
+}
+
+#[test]
+fn example_2_4_oc_taxgrp_sal() {
+    // "The OC taxGrp ~ sal holds, even though the OD taxGrp |-> sal does not."
+    let t = ranked();
+    assert!(aod::validate::list_oc_holds(&t, &[TAXGRP], &[SAL]));
+    assert!(!list_od_holds(&t, &[TAXGRP], &[SAL]));
+}
+
+#[test]
+fn example_2_7_swap_and_split() {
+    // t7/t8 constitute a swap w.r.t. pos,exp ~ pos,sal; t6/t7 a split
+    // w.r.t. the FD. Check through the rank encodings.
+    let t = ranked();
+    let (xr, _) = aod::validate::projection_ranks(&t, &[POS, EXP]);
+    let (yr, _) = aod::validate::projection_ranks(&t, &[POS, SAL]);
+    // rows: t7 = index 6, t8 = index 7, t6 = index 5.
+    assert!(aod::validate::is_swap((xr[6], yr[6]), (xr[7], yr[7])));
+    assert!(aod::validate::is_split((xr[5], yr[5]), (xr[6], yr[6])));
+}
+
+#[test]
+fn example_2_9_partition_of_pos() {
+    // Π_pos = {{t1,t2,t4}, {t3,t5,t6,t7,t8}, {t9}}.
+    let t = ranked();
+    let p = Partition::for_attrs(&t, [POS]);
+    assert_eq!(p.n_classes_unstripped(), 3);
+    let mut sizes: Vec<usize> = p.classes().map(<[u32]>::len).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![3, 5]); // {t9} stripped
+}
+
+#[test]
+fn example_2_12_canonical_deps() {
+    let t = ranked();
+    // {pos}: sal ~ bonus
+    assert!(validate_aoc(
+        &t,
+        AttrSet::singleton(POS),
+        SAL,
+        BONUS,
+        0.0,
+        AocStrategy::Optimal
+    )
+    .is_valid());
+    // {pos, sal}: [] |-> bonus
+    assert!(validate_aofd(&t, AttrSet::from_attrs([POS, SAL]), BONUS, 0.0).is_valid());
+    // therefore {pos}: sal |-> bonus
+    assert!(validate_aod(&t, AttrSet::singleton(POS), SAL, BONUS, 0.0).is_valid());
+}
+
+#[test]
+fn example_2_13_canonical_mapping_equivalence() {
+    // The mapping itself is tested in aod-core; here: semantic equivalence
+    // of [A,B] |-> [C,D]-style ODs against the direct validator, on the
+    // employee table for several list choices.
+    let t = ranked();
+    let lists: &[(&[usize], &[usize])] = &[
+        (&[POS, EXP], &[POS, SAL]),
+        (&[SAL], &[TAXGRP, BONUS]),
+        (&[SAL, EXP], &[TAXGRP, POS]),
+        (&[TAXGRP, SAL], &[TAXGRP, BONUS]),
+    ];
+    for (x, y) in lists {
+        assert_eq!(
+            aod::core::check_list_od(&t, x, y),
+            list_od_holds(&t, x, y),
+            "{x:?} |-> {y:?}"
+        );
+    }
+}
+
+#[test]
+fn example_2_15_minimal_removal_set() {
+    // s = {t1, t2, t4, t6}, e(sal ~ tax) = 4/9.
+    let t = ranked();
+    let mut v = OcValidator::new();
+    let ctx = Partition::unit(9);
+    let set = v.removal_set_optimal(&ctx, t.column(SAL).ranks(), t.column(TAX).ranks());
+    assert_eq!(set, vec![0, 1, 3, 5]);
+    let out = validate_aoc(
+        &t,
+        AttrSet::EMPTY,
+        SAL,
+        TAX,
+        4.0 / 9.0,
+        AocStrategy::Optimal,
+    );
+    assert!(out.is_valid());
+    assert!((out.factor().unwrap() - 4.0 / 9.0).abs() < 1e-12);
+}
+
+#[test]
+fn example_3_1_iterative_removal_sequence() {
+    // The iterative algorithm removes t7, then t5, t3, t6, t4:
+    // s = {t3, t4, t5, t6, t7}, factor 5/9 — an overestimate.
+    let t = ranked();
+    let mut v = OcValidator::new();
+    let ctx = Partition::unit(9);
+    let set = v.removal_set_iterative(&ctx, t.column(SAL).ranks(), t.column(TAX).ranks());
+    assert_eq!(set, vec![2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn example_3_2_lnds_removal() {
+    // The LNDS over tax after sorting by [sal, tax] keeps
+    // [0.3K, 1.5K, 1.8K, 7.2K, 16K].
+    let t = ranked();
+    let sorted_tax = [
+        2_000u32, 2_500, 300, 12_000, 1_500, 16_500, 1_800, 7_200, 16_000,
+    ];
+    let keep = aod::lis::lnds_indices(&sorted_tax);
+    let kept: Vec<u32> = keep.iter().map(|&i| sorted_tax[i as usize]).collect();
+    assert_eq!(kept, vec![300, 1_500, 1_800, 7_200, 16_000]);
+    assert_eq!(t.n_rows(), 9);
+}
+
+#[test]
+fn theorem_6_1_reduction_lis_dec_to_aoc() {
+    // The optimality proof's reduction: a LIS-DEC instance (list B) maps to
+    // the AOC instance A ~ B over tuples (i, b_i); |LIS| >= k iff the AOC
+    // is valid at eps = 1 - k/n. Verify on a concrete instance.
+    let b = vec![5u32, 1, 8, 2, 9, 3, 10, 4, 11, 0];
+    let n = b.len();
+    let a: Vec<u32> = (0..n as u32).collect();
+    let lis_len = aod::lis::lis_indices(&b).len();
+    let table = RankedTable::from_u32_columns(vec![a, b]);
+    for k in 1..=n {
+        let eps = 1.0 - k as f64 / n as f64;
+        let out = validate_aoc(&table, AttrSet::EMPTY, 0, 1, eps, AocStrategy::Optimal);
+        assert_eq!(out.is_valid(), lis_len >= k, "k = {k}");
+    }
+}
