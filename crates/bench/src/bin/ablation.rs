@@ -24,7 +24,7 @@ use aod_core::{discover, DiscoveryConfig, PruneConfig};
 fn main() {
     let args = ExpArgs::from_env();
     let rows = args.usize("rows", 10_000);
-    let epsilon = args.f64("epsilon", 0.1);
+    let epsilon = args.epsilon(0.1);
     // Without node deletion the lattice is exhaustive; cap the level so the
     // no-pruning baseline terminates at any scale.
     let max_level = args.usize("max-level", 6);

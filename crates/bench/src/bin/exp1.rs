@@ -15,7 +15,7 @@ use std::time::Duration;
 fn main() {
     let args = ExpArgs::from_env();
     let scale = args.usize("scale", 1);
-    let epsilon = args.f64("epsilon", 0.1);
+    let epsilon = args.epsilon(0.1);
     let timeout = Duration::from_secs(args.usize("timeout", 60) as u64);
 
     println!("# Exp-1 (Figure 2): scalability in |r| — epsilon = {epsilon}, 10 attributes\n");

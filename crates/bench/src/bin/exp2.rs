@@ -13,7 +13,7 @@ use std::time::Duration;
 fn main() {
     let args = ExpArgs::from_env();
     let rows = args.usize("rows", 1000);
-    let epsilon = args.f64("epsilon", 0.1);
+    let epsilon = args.epsilon(0.1);
     let timeout = Duration::from_secs(args.usize("timeout", 120) as u64);
     let max_attrs = args.usize("max-attrs", 35);
 

@@ -21,7 +21,7 @@ use aod_validate::{removal_budget, OcValidator};
 fn main() {
     let args = ExpArgs::from_env();
     let rows = args.usize("rows", 10_000);
-    let epsilon = args.f64("epsilon", 0.10);
+    let epsilon = args.epsilon(0.10);
 
     println!("# Exp-4: iterative removal-set overestimation and missed AOCs — {rows} tuples\n");
 

@@ -16,7 +16,7 @@ use aod_core::{discover, DiscoveryConfig};
 fn main() {
     let args = ExpArgs::from_env();
     let rows = args.usize("rows", 50_000);
-    let epsilon = args.f64("epsilon", 0.1);
+    let epsilon = args.epsilon(0.1);
 
     println!(
         "# Exp-5 (Figure 5): lattice level of OCs vs AOCs — ncvoter, {rows} tuples, 10 attributes, ε = {epsilon}\n"

@@ -146,9 +146,22 @@ pub struct ExpArgs {
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args()`.
+    /// Parses `std::env::args()`. `--help`/`-h` prints the shared option
+    /// summary and exits (each binary's module docs list its specifics).
     pub fn from_env() -> ExpArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            println!(
+                "experiment driver — common options:\n\
+                 \x20 --scale K      multiply every row count (default 1)\n\
+                 \x20 --rows N       override the row count where applicable\n\
+                 \x20 --epsilon E    approximation threshold in [0,1] (default 0.1)\n\
+                 \x20 --timeout S    wall-clock cap in seconds for iterative runs\n\
+                 unknown --key value options are ignored; see the binary's\n\
+                 module docs for which options it reads"
+            );
+            std::process::exit(0);
+        }
         let mut args = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -181,6 +194,17 @@ impl ExpArgs {
             .find(|(k, _)| k == name)
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// `--epsilon` with range validation: a bad threshold is a usage error
+    /// reported here, not a panic in the validators' `assert!`.
+    pub fn epsilon(&self, default: f64) -> f64 {
+        let epsilon = self.f64("epsilon", default);
+        if !(0.0..=1.0).contains(&epsilon) {
+            eprintln!("error: --epsilon: `{epsilon}` is not within [0, 1]");
+            std::process::exit(2);
+        }
+        epsilon
     }
 }
 

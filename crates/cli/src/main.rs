@@ -80,6 +80,16 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
+/// `--epsilon` with its default, rejected before it can reach the
+/// validators' `assert!` (a bad threshold is a usage error, not a panic).
+fn epsilon_arg(args: &Args) -> Result<f64, String> {
+    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(format!("--epsilon: `{epsilon}` is not within [0, 1]"));
+    }
+    Ok(epsilon)
+}
+
 fn load_table(args: &Args) -> Result<Table, String> {
     let path = args.positional.first().ok_or("missing input file")?;
     let options = CsvOptions {
@@ -92,7 +102,7 @@ fn load_table(args: &Args) -> Result<Table, String> {
 fn cmd_discover(args: &Args) -> Result<(), String> {
     let table = load_table(args)?;
     let ranked = RankedTable::from_table(&table);
-    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let epsilon = epsilon_arg(args)?;
     let mut config = if args.flag("exact") {
         DiscoveryConfig::exact()
     } else if args.flag("iterative") {
@@ -138,7 +148,7 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
 fn cmd_validate(args: &Args) -> Result<(), String> {
     let table = load_table(args)?;
     let ranked = RankedTable::from_table(&table);
-    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let epsilon = epsilon_arg(args)?;
     let pair = args.value("pair").ok_or("missing --pair A,B")?;
     let (a_name, b_name) = pair
         .split_once(',')
@@ -198,7 +208,7 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
 fn cmd_outliers(args: &Args) -> Result<(), String> {
     let table = load_table(args)?;
     let ranked = RankedTable::from_table(&table);
-    let epsilon = args.float("epsilon")?.unwrap_or(0.1);
+    let epsilon = epsilon_arg(args)?;
     let top = args.int("top")?.unwrap_or(20);
     let result = discover(&ranked, &DiscoveryConfig::approximate(epsilon));
     let report = outlier_report(&ranked, &result);
@@ -208,7 +218,10 @@ fn cmd_outliers(args: &Args) -> Result<(), String> {
     );
     for (row, score) in report.top(top) {
         let values: Vec<String> = table.row(row).iter().map(ToString::to_string).collect();
-        println!("  row {row:>6} flagged by {score:>3} deps: {}", values.join(", "));
+        println!(
+            "  row {row:>6} flagged by {score:>3} deps: {}",
+            values.join(", ")
+        );
     }
     Ok(())
 }

@@ -89,7 +89,10 @@ pub fn outlier_report(table: &RankedTable, result: &DiscoveryResult) -> OutlierR
             scores[row as usize] += 1;
         }
     }
-    OutlierReport { scores, n_contributing }
+    OutlierReport {
+        scores,
+        n_contributing,
+    }
 }
 
 /// Convenience filter: dependencies an expert would typically feed into
@@ -149,7 +152,10 @@ mod tests {
 
     #[test]
     fn top_k_is_sorted_and_truncated() {
-        let report = OutlierReport { scores: vec![0, 3, 1, 3, 0, 2], n_contributing: 4 };
+        let report = OutlierReport {
+            scores: vec![0, 3, 1, 3, 0, 2],
+            n_contributing: 4,
+        };
         let ranked = report.ranked_rows();
         assert_eq!(ranked, vec![(1, 3), (3, 3), (5, 2), (2, 1)]);
         assert_eq!(report.top(2), vec![(1, 3), (3, 3)]);

@@ -236,7 +236,7 @@ mod tests {
         let ctx = unit(6);
         let (dir, removed) = best_direction(&mut v, &ctx, &a, &b, 6);
         assert_eq!(dir, Direction::Desc);
-        assert!(removed >= 1 && removed <= 2, "removed {removed}");
+        assert!((1..=2).contains(&removed), "removed {removed}");
     }
 
     #[test]

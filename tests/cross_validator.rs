@@ -6,6 +6,8 @@ use aod::datagen::{flight, ncvoter};
 use aod::prelude::*;
 use aod::tane::{tane, TaneConfig};
 use aod_bench::Dataset;
+use aod_validate::brute_min_removal_oc;
+use proptest::prelude::*;
 
 #[test]
 fn validators_agree_on_generated_data() {
@@ -118,6 +120,81 @@ fn interestingness_ranks_planted_rules_highly() {
     }
     // Top entry must be a low-level (small context) dependency.
     assert!(ranked[0].level <= 3);
+}
+
+/// Random small instances as three raw columns: the candidate pair plus a
+/// low-cardinality context column (so contexts have multiple classes).
+fn small_instance() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (1usize..12).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u32..5, n),
+            proptest::collection::vec(0u32..5, n),
+            proptest::collection::vec(0u32..3, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The paper's minimality claim (§3.2, Theorem 3.3) exercised through
+    /// the facade: `validate_aoc` with the LNDS validator (Algorithm 2)
+    /// reports exactly the brute-force minimal removal count, with the
+    /// context partition built from an [`AttrSet`] as in discovery.
+    #[test]
+    fn facade_optimal_aoc_matches_brute_force((a, b, ctx_vals) in small_instance()) {
+        let table = RankedTable::from_u32_columns(vec![a, b, ctx_vals]);
+        let out = validate_aoc(
+            &table,
+            AttrSet::from_attrs([2]),
+            0,
+            1,
+            1.0,
+            AocStrategy::Optimal,
+        );
+        let ctx = Partition::for_attrs(&table, [2]);
+        let brute =
+            brute_min_removal_oc(&ctx, table.column(0).ranks(), table.column(1).ranks());
+        prop_assert_eq!(out.removed, Some(brute));
+    }
+
+    /// Cross-validator agreement at every ε: Algorithm 1 (iterative
+    /// baseline) may over-count removals, so wherever verdicts can
+    /// legitimately differ the disagreement is one-sided — anything the
+    /// iterative validator accepts, the optimal validator accepts too
+    /// (Exp-4's misses are always iterative rejections of valid
+    /// candidates, never the reverse). At the ε = 0 and ε = 1 extremes
+    /// the verdicts coincide exactly.
+    #[test]
+    fn iterative_and_optimal_verdicts_agree_at_every_epsilon(
+        (a, b, ctx_vals) in small_instance()
+    ) {
+        let table = RankedTable::from_u32_columns(vec![a, b, ctx_vals]);
+        let context = AttrSet::from_attrs([2]);
+        for pct in 0..=20u32 {
+            let eps = f64::from(pct) / 20.0;
+            let opt = validate_aoc(&table, context, 0, 1, eps, AocStrategy::Optimal);
+            let it = validate_aoc(&table, context, 0, 1, eps, AocStrategy::Iterative);
+            prop_assert_eq!(opt.budget, it.budget);
+            if it.is_valid() {
+                prop_assert!(
+                    opt.is_valid(),
+                    "eps {eps}: iterative accepted but optimal rejected"
+                );
+            }
+            if let (Some(o), Some(i)) = (opt.removed, it.removed) {
+                prop_assert!(i >= o, "eps {eps}: iterative under-counted {i} < {o}");
+            }
+            if pct == 0 {
+                // ε = 0 degenerates to exact validation on both sides.
+                prop_assert_eq!(opt.is_valid(), it.is_valid());
+            }
+            if pct == 20 {
+                // ε = 1 admits any removal set: both must accept.
+                prop_assert!(opt.is_valid() && it.is_valid());
+            }
+        }
+    }
 }
 
 #[test]

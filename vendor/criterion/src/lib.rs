@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this vendored crate implements the `criterion` 0.5 API surface the
+//! workspace's benches use: [`Criterion`], [`BenchmarkGroup`] with
+//! `sample_size`/`measurement_time`/`throughput`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is honest but simple: per benchmark it warms up once, then
+//! times whole iterations until either the sample budget or the
+//! measurement-time budget is exhausted, and reports min/mean per-iteration
+//! wall time (plus element throughput when configured). There are no
+//! statistical refinements, HTML reports, or baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, one per bench binary.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            // The real default is 5 s per benchmark; this stub keeps runs
+            // laptop-quick while staying overridable via the builder.
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark wall-time budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Criterion {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        let (measurement_time, sample_size) = (self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_time, self.sample_size);
+        f(&mut bencher);
+        println!("{name:<40} {}", bencher.report(None));
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-time budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Declares the work per iteration, enabling throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.measurement_time, self.sample_size);
+        f(&mut bencher, input);
+        let label = format!("{}/{id}", self.name);
+        println!("{label:<56} {}", bencher.report(self.throughput.as_ref()));
+        self
+    }
+
+    /// Benchmarks `f` with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_time, self.sample_size);
+        f(&mut bencher);
+        let label = format!("{}/{id}", self.name);
+        println!("{label:<56} {}", bencher.report(self.throughput.as_ref()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds the label from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// A label with a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, samples: usize) -> Bencher {
+        Bencher {
+            budget,
+            samples,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        }
+    }
+
+    /// Times `f` over up to `sample_size` iterations (at least one), bounded
+    /// by the measurement-time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        self.total = Duration::ZERO;
+        self.min = Duration::MAX;
+        self.iters = 0;
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            let elapsed = t.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters += 1;
+            if self.iters >= self.samples as u64 || started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, throughput: Option<&Throughput>) -> String {
+        if self.iters == 0 {
+            return "no iterations recorded".into();
+        }
+        let mean = self.total / self.iters as u32;
+        let mut out = format!(
+            "mean {:>12?}  min {:>12?}  ({} iters)",
+            mean, self.min, self.iters
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let per_sec = *n as f64 / mean.as_secs_f64();
+            out.push_str(&format!("  {:.2} Melem/s", per_sec / 1e6));
+        }
+        if let Some(Throughput::Bytes(n)) = throughput {
+            let per_sec = *n as f64 / mean.as_secs_f64();
+            out.push_str(&format!("  {:.2} MiB/s", per_sec / (1024.0 * 1024.0)));
+        }
+        out
+    }
+}
+
+/// Declares a named group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test --benches` pass harness flags
+            // (`--bench`, `--test`); with `--test` only smoke-compile.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

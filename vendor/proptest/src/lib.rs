@@ -1,0 +1,29 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! vendored crate implements the `proptest` 1.x API surface the workspace
+//! uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), and the `prop_assert*` macros.
+//!
+//! Semantics match real proptest for everything these tests rely on:
+//! deterministic seeding per test, N generated cases per property, `?` on
+//! [`test_runner::TestCaseError`] inside property bodies, and failing cases
+//! reported together with their generated input. The one deliberate
+//! omission is shrinking — a failing input is reported as generated, not
+//! minimised.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod sugar;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

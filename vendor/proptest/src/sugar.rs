@@ -1,0 +1,146 @@
+//! The `proptest!` / `prop_assert*` macros and the case-loop runner.
+
+use crate::test_runner::{fnv1a, Config, TestCaseError, TestCaseResult, TestRng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runs `config.cases` generated cases of one property.
+///
+/// Seeding is deterministic per `(test_name, case index)`, so failures are
+/// reproducible across runs. On failure the generated input is printed
+/// (this stub does not shrink).
+pub fn run_cases<V: Debug>(
+    config: &Config,
+    test_name: &str,
+    mut generate: impl FnMut(&mut TestRng) -> V,
+    run: impl Fn(V) -> TestCaseResult,
+) {
+    let base = fnv1a(test_name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::from_seed(
+            base ^ (case as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17),
+        );
+        let value = generate(&mut rng);
+        let formatted = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| run(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(reason))) => panic!(
+                "proptest property falsified: {reason}\n\
+                 \x20 test:  {test_name} (case {case} of {total})\n\
+                 \x20 input: {formatted}",
+                total = config.cases,
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest case panicked\n\
+                     \x20 test:  {test_name} (case {case} of {total})\n\
+                     \x20 input: {formatted}",
+                    total = config.cases,
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::sugar::run_cases(
+                    &($config),
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| $crate::strategy::Strategy::new_value(&($(($strat),)+), __rng),
+                    |__vals| {
+                        let ($($pat,)+) = __vals;
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the falsified property (with its generated
+/// input) instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, via [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, via [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this vendored crate implements exactly the `rand` 0.8 API surface the
+//! workspace uses — [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] extension methods `gen`, `gen_bool`, `gen_range` —
+//! on top of a deterministic xoshiro256++ generator. Swapping back to the
+//! real crate is a one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of reproducible generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the domain).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a standard distribution usable via [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer types with uniform range sampling.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high_inclusive]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high_inclusive: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: $t, high_inclusive: $t) -> $t {
+                debug_assert!(low <= high_inclusive);
+                let span = (high_inclusive as u128).wrapping_sub(low as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                // Widening multiply keeps the modulo bias below 2^-64,
+                // irrelevant for the synthetic-data use here.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u128;
+                (low as u128).wrapping_add(hi) as $t
+            }
+        }
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample from empty range");
+                <$t>::sample_inclusive(rng, low, high)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++), mirroring
+    /// `rand::rngs::SmallRng`'s role: speed over cryptographic strength.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> SmallRng {
+            // Expand the seed with splitmix64, as rand does.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_bool_rates() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut hits = 0u32;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            if rng.gen_bool(0.25) {
+                hits += 1;
+            }
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+        assert!((hits as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn range_values_cover_the_domain() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
