@@ -9,9 +9,30 @@
 //!
 //! Usage: `cargo run --release -p aod-bench --bin exp5 [--rows 50000]
 //!         [--epsilon 0.1]`
+//!
+//! Runs through the streaming `DiscoverySession` API: each lattice level
+//! is reported on stderr the moment it completes, which is exactly the
+//! per-level series Figure 5 plots — no need to wait for the full run.
 
 use aod_bench::{print_table, Dataset, ExpArgs};
-use aod_core::{discover, DiscoveryConfig};
+use aod_core::{DiscoveryBuilder, DiscoveryResult};
+use aod_table::RankedTable;
+
+/// Runs one configuration level-by-level, narrating progress on stderr.
+fn run_streaming(table: &RankedTable, label: &str, builder: DiscoveryBuilder) -> DiscoveryResult {
+    let mut session = builder.record_events(false).build(table);
+    while let Some(outcome) = session.step() {
+        eprintln!(
+            "  [{label}] level {:>2}: {:>5} nodes -> +{} OCs (+{} OFDs), {} candidates pruned",
+            outcome.level,
+            outcome.stats.n_nodes,
+            outcome.stats.n_oc_found,
+            outcome.stats.n_ofd_found,
+            outcome.stats.n_oc_pruned,
+        );
+    }
+    session.into_result()
+}
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -24,8 +45,8 @@ fn main() {
 
     for ds in [Dataset::Ncvoter, Dataset::Flight] {
         let table = ds.ranked_10(rows, 42);
-        let exact = discover(&table, &DiscoveryConfig::exact());
-        let approx = discover(&table, &DiscoveryConfig::approximate(epsilon));
+        let exact = run_streaming(&table, "OD", DiscoveryBuilder::new().exact());
+        let approx = run_streaming(&table, "AOD", DiscoveryBuilder::new().approximate(epsilon));
 
         println!("## {}\n", ds.name());
         let max_level = exact

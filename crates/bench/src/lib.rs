@@ -10,7 +10,7 @@
 
 #![warn(missing_docs)]
 
-use aod_core::{discover, DiscoveryConfig, DiscoveryResult};
+use aod_core::{AocStrategy, DiscoveryBuilder, DiscoveryResult};
 use aod_datagen::{flight, ncvoter};
 use aod_table::RankedTable;
 use std::time::Duration;
@@ -124,18 +124,19 @@ pub fn run_three_modes(table: &RankedTable, epsilon: f64, iterative_timeout: Dur
     vec![
         Run {
             label: "OD",
-            result: discover(table, &DiscoveryConfig::exact()),
+            result: DiscoveryBuilder::new().exact().run(table),
         },
         Run {
             label: "AOD (optimal)",
-            result: discover(table, &DiscoveryConfig::approximate(epsilon)),
+            result: DiscoveryBuilder::new().approximate(epsilon).run(table),
         },
         Run {
             label: "AOD (iterative)",
-            result: discover(
-                table,
-                &DiscoveryConfig::approximate_iterative(epsilon).with_timeout(iterative_timeout),
-            ),
+            result: DiscoveryBuilder::new()
+                .approximate(epsilon)
+                .strategy(AocStrategy::Iterative)
+                .timeout(iterative_timeout)
+                .run(table),
         },
     ]
 }

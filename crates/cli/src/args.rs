@@ -1,8 +1,10 @@
 //! Minimal command-line argument parser.
 //!
 //! Grammar: `aod <command> [positional...] [--flag] [--key value]...`.
-//! Boolean flags and valued options are distinguished by a fixed list of
-//! known flags, so `--exact file.csv` parses unambiguously.
+//! Boolean flags and valued options are distinguished by fixed lists of
+//! known names, so `--exact file.csv` parses unambiguously, a valued
+//! option can never swallow a following `--flag` as its value, and a
+//! mistyped option is an error instead of a silent no-op.
 
 /// Flags that never take a value.
 const BOOL_FLAGS: &[&str] = &[
@@ -10,9 +12,25 @@ const BOOL_FLAGS: &[&str] = &[
     "iterative",
     "ofds",
     "od",
+    "progress",
     "show-removals",
     "no-header",
     "help",
+];
+
+/// Options that always take a value.
+const VALUE_OPTIONS: &[&str] = &[
+    "epsilon",
+    "max-level",
+    "timeout",
+    "top",
+    "top-k",
+    "columns",
+    "pair",
+    "context",
+    "rows",
+    "seed",
+    "out",
 ];
 
 /// Parsed command line.
@@ -41,12 +59,15 @@ impl Args {
             if let Some(name) = token.strip_prefix("--") {
                 if BOOL_FLAGS.contains(&name) {
                     args.flags.push(name.to_string());
-                } else {
+                } else if VALUE_OPTIONS.contains(&name) {
                     let value = argv
                         .get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
                         .ok_or_else(|| format!("option --{name} needs a value"))?;
                     args.options.push((name.to_string(), value.clone()));
                     i += 1;
+                } else {
+                    return Err(format!("unknown option `--{name}` (see `aod help`)"));
                 }
             } else {
                 args.positional.push(token.clone());
@@ -134,6 +155,44 @@ mod tests {
     fn missing_value_errors() {
         let argv = vec!["x".to_string(), "--rows".to_string()];
         assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn option_cannot_swallow_a_flag() {
+        // `--epsilon --exact file.csv` must not consume `--exact` as the
+        // epsilon value.
+        let argv: Vec<String> = ["discover", "--epsilon", "--exact", "f.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("--epsilon needs a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_error_instead_of_vanishing() {
+        let argv: Vec<String> = ["discover", "f.csv", "--epsilonn", "0.1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("unknown option `--epsilonn`"), "{err}");
+    }
+
+    #[test]
+    fn new_session_flags_parse() {
+        let a = parse(&[
+            "discover",
+            "f.csv",
+            "--progress",
+            "--top-k",
+            "7",
+            "--columns",
+            "a,b,c",
+        ]);
+        assert!(a.flag("progress"));
+        assert_eq!(a.int("top-k").unwrap(), Some(7));
+        assert_eq!(a.value("columns"), Some("a,b,c"));
     }
 
     #[test]

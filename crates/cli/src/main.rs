@@ -12,7 +12,10 @@
 //! Argument parsing is hand-rolled (the offline dependency policy excludes
 //! `clap`); see [`Args`].
 
-use aod_core::{discover, outlier_report, DiscoveryConfig};
+use aod_core::{
+    discover, outlier_report, AocStrategy, DiscoveryBuilder, DiscoveryConfig, DiscoveryEvent,
+    DiscoveryResult,
+};
 use aod_datagen::{flight, ncvoter};
 use aod_partition::AttrSet;
 use aod_partition::Partition;
@@ -29,7 +32,8 @@ aod — approximate order dependency discovery (EDBT 2021 reproduction)
 
 USAGE:
   aod discover <file.csv> [--epsilon E] [--iterative] [--exact]
-               [--max-level N] [--top K] [--ofds] [--no-header]
+               [--max-level N] [--timeout S] [--top K] [--top-k K]
+               [--columns C1,C2,...] [--progress] [--ofds] [--no-header]
   aod validate <file.csv> --pair A,B [--context C1,C2,...] [--epsilon E]
                [--od] [--iterative] [--show-removals] [--no-header]
   aod generate <flight|ncvoter|employee> [--rows N] [--seed S] [--out FILE]
@@ -40,7 +44,11 @@ OPTIONS:
   --exact           discover exact ODs (epsilon = 0, linear validators)
   --iterative       use the iterative baseline validator (Algorithm 1)
   --max-level N     cap the lattice level
+  --timeout S       wall-clock budget in seconds (partial results after)
   --top K           print only the K most interesting dependencies
+  --top-k K         stop discovery as soon as K OCs are found (early exit)
+  --columns C1,...  discover only over these columns
+  --progress        stream per-level progress to stderr while running
   --ofds            also print discovered OFDs
   --pair A,B        the candidate pair (column names)
   --context C1,...  context column names (default: empty context)
@@ -103,20 +111,54 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
     let table = load_table(args)?;
     let ranked = RankedTable::from_table(&table);
     let epsilon = epsilon_arg(args)?;
-    let mut config = if args.flag("exact") {
-        DiscoveryConfig::exact()
-    } else if args.flag("iterative") {
-        DiscoveryConfig::approximate_iterative(epsilon)
+    let mut builder = if args.flag("exact") {
+        DiscoveryBuilder::new().exact()
     } else {
-        DiscoveryConfig::approximate(epsilon)
+        DiscoveryBuilder::new().approximate(epsilon)
     };
-    if let Some(level) = args.int("max-level")? {
-        config = config.with_max_level(level);
+    if args.flag("iterative") {
+        builder = builder.strategy(AocStrategy::Iterative);
     }
-    let result = discover(&ranked, &config);
+    if let Some(level) = args.int("max-level")? {
+        builder = builder.max_level(level);
+    }
+    if let Some(secs) = args.int("timeout")? {
+        builder = builder.timeout(std::time::Duration::from_secs(secs as u64));
+    }
+    if let Some(k) = args.int("top-k")? {
+        builder = builder.top_k(k);
+    }
+    if let Some(cols) = args.value("columns") {
+        let mut scope = Vec::new();
+        for name in cols.split(',') {
+            scope.push(
+                table
+                    .schema()
+                    .index_of(name.trim())
+                    .ok_or_else(|| format!("--columns: unknown column `{}`", name.trim()))?,
+            );
+        }
+        builder = builder.scope(scope);
+    }
+
+    let result = if args.flag("progress") {
+        run_with_progress(builder.build(&ranked))
+    } else {
+        builder.run(&ranked)
+    };
     let names = table.schema().names();
     let top = args.int("top")?.unwrap_or(usize::MAX);
 
+    if result.is_partial() {
+        println!(
+            "note: partial results ({})",
+            if result.stats.timed_out {
+                "wall-clock budget exceeded"
+            } else {
+                "stopped early"
+            }
+        );
+    }
     println!(
         "{} rows × {} columns; mode: {}; found {} OCs, {} OFDs in {:.3}s \
          ({:.1}% of time in OC validation)",
@@ -143,6 +185,34 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Drains the session's event stream, narrating per-level progress (and
+/// early stops) on stderr so long wide-schema runs stay observable.
+fn run_with_progress(mut session: aod_core::DiscoverySession<'_>) -> DiscoveryResult {
+    for event in session.by_ref() {
+        match event {
+            DiscoveryEvent::LevelComplete(outcome) => {
+                eprintln!(
+                    "level {:>2}: {:>6} nodes, {:>6} OC candidates ({} pruned), +{} OCs, +{} OFDs",
+                    outcome.level,
+                    outcome.stats.n_nodes,
+                    outcome.stats.n_oc_candidates,
+                    outcome.stats.n_oc_pruned,
+                    outcome.stats.n_oc_found,
+                    outcome.stats.n_ofd_found,
+                );
+            }
+            DiscoveryEvent::TimedOut { level } => {
+                eprintln!("level {level:>2}: wall-clock budget exceeded, stopping");
+            }
+            DiscoveryEvent::Cancelled { level } => {
+                eprintln!("level {level:>2}: stopped early");
+            }
+            _ => {}
+        }
+    }
+    session.into_result()
 }
 
 fn cmd_validate(args: &Args) -> Result<(), String> {

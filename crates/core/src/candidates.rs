@@ -1,0 +1,81 @@
+//! Candidate generation at a lattice node.
+//!
+//! At node `X` of level `ℓ` the driver validates
+//!
+//! * OFD candidates `X\{A}: [] |-> A` for `A ∈ X ∩ Cc⁺(X)`, with TANE's
+//!   RHS-candidate sets `Cc⁺(X) = ∩_{B∈X} Cc⁺(X\{B})`;
+//! * OC candidates `X\{A,B}: A ~ B` for pairs `{A,B} ⊆ X` (level ≥ 2).
+//!
+//! Enumeration order is deterministic (ascending attribute index), which
+//! is what makes the streaming session bit-identical to the one-shot
+//! driver.
+
+use crate::frontier::Node;
+use aod_partition::AttrSet;
+
+/// An OC candidate `context: a ~ b` (`a < b`) generated at some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OcCandidate {
+    /// The context set `X\{a,b}`.
+    pub context: AttrSet,
+    /// First attribute of the pair (`a < b`).
+    pub a: usize,
+    /// Second attribute of the pair.
+    pub b: usize,
+}
+
+/// RHS attributes `A ∈ X ∩ Cc⁺(X)` for the node's OFD candidates, in
+/// ascending order. Snapshotted so TANE's in-loop `Cc⁺` shrinking cannot
+/// affect the iteration.
+pub(crate) fn ofd_candidates(node: &Node) -> Vec<usize> {
+    node.set.intersect(node.rhs).iter().collect()
+}
+
+/// All OC candidates of the node: one per unordered pair `{a,b} ⊆ X`,
+/// enumerated in ascending `(a, b)` order.
+pub(crate) fn oc_candidates(set: AttrSet) -> Vec<OcCandidate> {
+    let attrs: Vec<usize> = set.iter().collect();
+    let mut out = Vec::with_capacity(attrs.len() * attrs.len().saturating_sub(1) / 2);
+    for i in 0..attrs.len() {
+        for j in i + 1..attrs.len() {
+            let (a, b) = (attrs[i], attrs[j]);
+            out.push(OcCandidate {
+                context: set.without(a).without(b),
+                a,
+                b,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ofd_candidates_respect_rhs() {
+        let node = Node {
+            set: AttrSet::from_attrs([1, 3, 5]),
+            rhs: AttrSet::from_attrs([0, 3, 5]),
+        };
+        assert_eq!(ofd_candidates(&node), vec![3, 5]);
+    }
+
+    #[test]
+    fn oc_candidates_enumerate_pairs_in_order() {
+        let set = AttrSet::from_attrs([0, 2, 4]);
+        let cands = oc_candidates(set);
+        assert_eq!(cands.len(), 3);
+        assert_eq!((cands[0].a, cands[0].b), (0, 2));
+        assert_eq!(cands[0].context, AttrSet::singleton(4));
+        assert_eq!((cands[1].a, cands[1].b), (0, 4));
+        assert_eq!((cands[2].a, cands[2].b), (2, 4));
+        assert!(cands.iter().all(|c| !c.context.contains(c.a)));
+    }
+
+    #[test]
+    fn singletons_have_no_oc_candidates() {
+        assert!(oc_candidates(AttrSet::singleton(3)).is_empty());
+    }
+}

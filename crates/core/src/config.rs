@@ -21,6 +21,7 @@ pub enum Mode {
 
 impl Mode {
     /// Convenience constructor for the optimal approximate mode.
+    #[must_use]
     pub fn approximate(epsilon: f64) -> Mode {
         Mode::Approximate {
             epsilon,
@@ -29,6 +30,7 @@ impl Mode {
     }
 
     /// Convenience constructor for the iterative-baseline approximate mode.
+    #[must_use]
     pub fn approximate_iterative(epsilon: f64) -> Mode {
         Mode::Approximate {
             epsilon,
@@ -80,6 +82,7 @@ impl Default for PruneConfig {
 
 impl PruneConfig {
     /// All pruning disabled (exhaustive validation; ablation baseline).
+    #[must_use]
     pub fn none() -> PruneConfig {
         PruneConfig {
             r2_context_implication: false,
@@ -107,8 +110,16 @@ pub struct DiscoveryConfig {
     pub prune: PruneConfig,
 }
 
+/// The default configuration is exact discovery ([`DiscoveryConfig::exact`]).
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig::exact()
+    }
+}
+
 impl DiscoveryConfig {
     /// Exact OD discovery, full lattice, no timeout.
+    #[must_use]
     pub fn exact() -> DiscoveryConfig {
         DiscoveryConfig {
             mode: Mode::Exact,
@@ -119,6 +130,7 @@ impl DiscoveryConfig {
     }
 
     /// Approximate discovery with Algorithm 2 at the given threshold.
+    #[must_use]
     pub fn approximate(epsilon: f64) -> DiscoveryConfig {
         DiscoveryConfig {
             mode: Mode::approximate(epsilon),
@@ -127,6 +139,7 @@ impl DiscoveryConfig {
     }
 
     /// Approximate discovery with the iterative baseline (Algorithm 1).
+    #[must_use]
     pub fn approximate_iterative(epsilon: f64) -> DiscoveryConfig {
         DiscoveryConfig {
             mode: Mode::approximate_iterative(epsilon),
@@ -135,18 +148,21 @@ impl DiscoveryConfig {
     }
 
     /// Builder: cap the lattice level.
+    #[must_use = "with_* returns a new config instead of mutating in place"]
     pub fn with_max_level(mut self, level: usize) -> DiscoveryConfig {
         self.max_level = Some(level);
         self
     }
 
     /// Builder: set the wall-clock budget.
+    #[must_use = "with_* returns a new config instead of mutating in place"]
     pub fn with_timeout(mut self, timeout: Duration) -> DiscoveryConfig {
         self.timeout = Some(timeout);
         self
     }
 
     /// Builder: override the pruning rules (ablation).
+    #[must_use = "with_* returns a new config instead of mutating in place"]
     pub fn with_pruning(mut self, prune: PruneConfig) -> DiscoveryConfig {
         self.prune = prune;
         self
@@ -188,6 +204,15 @@ mod tests {
         assert_eq!(c.max_level, Some(4));
         assert_eq!(c.timeout, Some(Duration::from_secs(1)));
         assert_eq!(c.prune, PruneConfig::default());
+    }
+
+    #[test]
+    fn default_is_exact() {
+        let d = DiscoveryConfig::default();
+        assert_eq!(d.mode, Mode::Exact);
+        assert_eq!(d.max_level, None);
+        assert_eq!(d.timeout, None);
+        assert_eq!(d.prune, PruneConfig::default());
     }
 
     #[test]

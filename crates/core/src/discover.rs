@@ -1,307 +1,41 @@
-//! The set-based level-wise discovery driver (Section 3.1, Figure 1).
+//! The one-shot compat entry point over the streaming engine.
 //!
-//! Traverses the attribute-set lattice bottom-up. At node `X` of level `ℓ`
-//! it validates
-//!
-//! * OFD candidates `X\{A}: [] |-> A` for `A ∈ X ∩ Cc⁺(X)`, with TANE's
-//!   RHS-candidate sets `Cc⁺(X) = ∩_{B∈X} Cc⁺(X\{B})`;
-//! * OC candidates `X\{A,B}: A ~ B` for pairs `{A,B} ⊆ X`, pruned by
-//!
-//!   * **R2 (context implication)** — a valid OC in a sub-context implies
-//!     every super-context one: swaps within a finer partition class are
-//!     swaps within the coarser class, so minimal removal sets only shrink
-//!     as contexts grow;
-//!   * **R3 (constancy implication)** — if `Y: [] |-> A` holds (w.r.t. ε)
-//!     for `Y ⊆ X\{A,B}`, removing its removal set leaves `A` constant per
-//!     class, so no swap survives: the OC is implied;
-//!   * **R4 (key pruning)** — a keyed context has only singleton classes,
-//!     hence no swaps: the OC holds trivially and carries no information.
-//!
-//! **Node deletion.** A node is *dead* when `Cc⁺(X) = ∅` and every pair
-//! context `X\{A,B}` (`A, B ∈ X`) is a key. Deadness is hereditary:
-//! `Cc⁺` only shrinks going up, and for any descendant `Z ⊇ X` and pair
-//! `{A,B} ⊆ Z` the context `Z\{A,B}` contains some `X\{A',B'}`
-//! (take `A' = A` if `A ∈ X` else any; likewise `B'`), and supersets of
-//! keys are keys. Dead nodes are therefore dropped before candidate
-//! generation without losing completeness — this is what keeps the
-//! wide-schema experiments (Figure 3) tractable, and why approximate
-//! discovery (whose OFDs/OCs appear at *lower* levels, pruning earlier)
-//! can outrun exact discovery (Exp-5).
+//! [`discover`] is a thin wrapper that builds a
+//! [`DiscoverySession`](crate::DiscoverySession) from a
+//! [`DiscoveryConfig`] and runs it to completion — the level-wise driver
+//! itself (Section 3.1, Figure 1) lives in the
+//! [`engine`](crate::engine) module, split into frontier management,
+//! pruning state and candidate generation. Prefer
+//! [`DiscoveryBuilder`](crate::DiscoveryBuilder) for new code: it exposes
+//! the same run as an observable, cancellable session.
 
-use crate::config::{DiscoveryConfig, Mode};
-use crate::dep::{OcDep, OfdDep};
+use crate::builder::DiscoveryBuilder;
+use crate::config::DiscoveryConfig;
 use crate::result::DiscoveryResult;
-use crate::stats::DiscoveryStats;
-use aod_partition::{
-    prefix_join, AttrSet, AttrSetMap, AttrSetSet, Partition, PartitionCache, MAX_ATTRS,
-};
 use aod_table::RankedTable;
-use aod_validate::{min_removal_ofd, removal_budget, AocStrategy, OcValidator};
-use std::time::Instant;
-
-/// A lattice node: the attribute set plus its TANE RHS-candidate set.
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    set: AttrSet,
-    rhs: AttrSet,
-}
 
 /// Runs dependency discovery over a rank-encoded table.
 ///
 /// Returns all minimal (non-implied) canonical OCs and OFDs valid w.r.t.
-/// the configured mode, together with per-phase statistics.
+/// the configured mode, together with per-phase statistics. Equivalent to
+/// `DiscoveryBuilder::from_config(config.clone()).run(table)` — the
+/// streaming session replayed to completion yields bit-identical results.
 ///
 /// # Panics
-/// If the table has more than [`MAX_ATTRS`] columns.
+/// If the table has more than [`MAX_ATTRS`](aod_partition::MAX_ATTRS)
+/// columns.
 pub fn discover(table: &RankedTable, config: &DiscoveryConfig) -> DiscoveryResult {
-    let start = Instant::now();
-    let n_rows = table.n_rows();
-    let n_attrs = table.n_cols();
-    assert!(
-        n_attrs <= MAX_ATTRS,
-        "at most {MAX_ATTRS} attributes supported"
-    );
-
-    let budget = match config.mode {
-        Mode::Exact => 0,
-        Mode::Approximate { epsilon, .. } => removal_budget(n_rows, epsilon),
-    };
-
-    let mut cache = PartitionCache::new();
-    let mut validator = OcValidator::new();
-    let mut stats = DiscoveryStats::default();
-    let mut ocs: Vec<OcDep> = Vec::new();
-    let mut ofds: Vec<OfdDep> = Vec::new();
-    // R2 state: contexts of found OCs per attribute pair (a*n+b, a<b).
-    let mut oc_found: Vec<Vec<AttrSet>> = vec![Vec::new(); n_attrs * n_attrs];
-    // R3 state: contexts where each attribute is (approximately) constant.
-    let mut const_found: Vec<Vec<AttrSet>> = vec![Vec::new(); n_attrs];
-    // R4 / deadness state: sets whose partitions are keys.
-    let mut key_sets: AttrSetSet = AttrSetSet::default();
-
-    cache.insert(AttrSet::EMPTY, Partition::unit(n_rows));
-    if n_rows < 2 {
-        key_sets.insert(AttrSet::EMPTY);
-    }
-    let mut nodes: Vec<Node> = (0..n_attrs)
-        .map(|a| {
-            cache.insert(
-                AttrSet::singleton(a),
-                Partition::from_ranked_column(table.column(a)),
-            );
-            Node {
-                set: AttrSet::singleton(a),
-                rhs: AttrSet::full(n_attrs),
-            }
-        })
-        .collect();
-
-    let mut level = 1usize;
-    let mut timed_out = false;
-    let coverage_denominator = n_rows.max(1) as f64;
-
-    #[allow(clippy::needless_range_loop)] // nodes[idx] is mutated inside the loop
-    'levels: while !nodes.is_empty() {
-        stats.level_mut(level).n_nodes = nodes.len();
-
-        for idx in 0..nodes.len() {
-            if let Some(t) = config.timeout {
-                if start.elapsed() > t {
-                    timed_out = true;
-                    break 'levels;
-                }
-            }
-            let set = nodes[idx].set;
-
-            // --- OFD candidates: X\{A}: [] |-> A for A in X ∩ Cc+(X) ---
-            let rhs_snapshot: Vec<usize> = set.intersect(nodes[idx].rhs).iter().collect();
-            for a in rhs_snapshot {
-                let ctx_set = set.without(a);
-                let ctx = cache.get(ctx_set).expect("parent partition is cached");
-                stats.level_mut(level).n_ofd_candidates += 1;
-                let col = table.column(a);
-                let t0 = Instant::now();
-                let removed = match config.mode {
-                    Mode::Exact => {
-                        // FD X\{A} -> A holds iff |Π_{X\{A}}| == |Π_X|
-                        // (class-count check; both partitions are cached).
-                        let node_part = cache.get(set).expect("node partition is cached");
-                        (ctx.n_classes_unstripped() == node_part.n_classes_unstripped())
-                            .then_some(0)
-                    }
-                    Mode::Approximate { .. } => {
-                        min_removal_ofd(ctx, col.ranks(), col.n_distinct(), budget)
-                    }
-                };
-                stats.ofd_validation += t0.elapsed();
-                if let Some(removed) = removed {
-                    stats.level_mut(level).n_ofd_found += 1;
-                    let coverage = ctx.n_grouped_rows() as f64 / coverage_denominator;
-                    ofds.push(OfdDep {
-                        context: ctx_set,
-                        rhs: a,
-                        removed,
-                        factor: removed as f64 / coverage_denominator,
-                        level,
-                        coverage,
-                    });
-                    const_found[a].push(ctx_set);
-                    // TANE pruning: Cc+(X) := (Cc+(X) ∩ X) \ {A}.
-                    nodes[idx].rhs = nodes[idx].rhs.intersect(set).without(a);
-                }
-            }
-
-            // --- OC candidates: X\{A,B}: A ~ B for pairs {A,B} ⊆ X ---
-            if level >= 2 {
-                let attrs: Vec<usize> = set.iter().collect();
-                for i in 0..attrs.len() {
-                    for j in i + 1..attrs.len() {
-                        let (a, b) = (attrs[i], attrs[j]);
-                        let ctx_set = set.without(a).without(b);
-                        let pair = a * n_attrs + b;
-                        // R2: implied by an OC found in a sub-context.
-                        if config.prune.r2_context_implication
-                            && oc_found[pair].iter().any(|y| y.is_subset_of(ctx_set))
-                        {
-                            stats.level_mut(level).n_oc_pruned += 1;
-                            continue;
-                        }
-                        // R3: implied by a constant attribute.
-                        if config.prune.r3_constancy_implication
-                            && (const_found[a].iter().any(|y| y.is_subset_of(ctx_set))
-                                || const_found[b].iter().any(|y| y.is_subset_of(ctx_set)))
-                        {
-                            stats.level_mut(level).n_oc_pruned += 1;
-                            continue;
-                        }
-                        let ctx = cache.get(ctx_set).expect("context partition is cached");
-                        // R4: keyed context — trivially holds.
-                        if config.prune.r4_key_pruning && ctx.is_key() {
-                            stats.level_mut(level).n_oc_pruned += 1;
-                            continue;
-                        }
-                        stats.level_mut(level).n_oc_candidates += 1;
-                        let (ar, br) = (table.column(a).ranks(), table.column(b).ranks());
-                        let t0 = Instant::now();
-                        let removed = match config.mode {
-                            Mode::Exact => validator.exact_oc_holds(ctx, ar, br).then_some(0),
-                            Mode::Approximate {
-                                strategy: AocStrategy::Optimal,
-                                ..
-                            } => validator.min_removal_optimal(ctx, ar, br, budget),
-                            Mode::Approximate {
-                                strategy: AocStrategy::Iterative,
-                                ..
-                            } => validator.min_removal_iterative(ctx, ar, br, budget),
-                        };
-                        stats.oc_validation += t0.elapsed();
-                        if let Some(removed) = removed {
-                            stats.level_mut(level).n_oc_found += 1;
-                            let coverage = ctx.n_grouped_rows() as f64 / coverage_denominator;
-                            ocs.push(OcDep {
-                                context: ctx_set,
-                                a,
-                                b,
-                                removed,
-                                factor: removed as f64 / coverage_denominator,
-                                level,
-                                coverage,
-                            });
-                            oc_found[pair].push(ctx_set);
-                        }
-                    }
-                }
-            }
-
-            // Record key-ness for R4 lookups and deadness checks.
-            if cache.get(set).expect("node partition is cached").is_key() {
-                key_sets.insert(set);
-            }
-        }
-
-        if config.max_level.is_some_and(|m| level >= m) {
-            break;
-        }
-
-        // --- Retention: drop dead nodes, then prefix-join the survivors ---
-        let retained: Vec<AttrSet> = nodes
-            .iter()
-            .filter(|n| !config.prune.node_deletion || !node_is_dead(n, level, &key_sets))
-            .map(|n| n.set)
-            .collect();
-        let rhs_map: AttrSetMap<AttrSet> = nodes.iter().map(|n| (n.set, n.rhs)).collect();
-
-        let mut next = Vec::new();
-        for join in prefix_join(&retained) {
-            // Cc+(child) = ∩ over all level-ℓ subsets.
-            let mut rhs = AttrSet::full(n_attrs);
-            let mut all_present = true;
-            for c in join.child.iter() {
-                match rhs_map.get(&join.child.without(c)) {
-                    Some(r) => rhs = rhs.intersect(*r),
-                    None => {
-                        all_present = false;
-                        break;
-                    }
-                }
-            }
-            if !all_present {
-                continue;
-            }
-            let t0 = Instant::now();
-            cache.product_into(join.parent_a, join.parent_b);
-            stats.partitioning += t0.elapsed();
-            next.push(Node {
-                set: join.child,
-                rhs,
-            });
-        }
-
-        // Keep levels ℓ-1 (contexts at level ℓ+1), ℓ (parents) and ℓ+1.
-        cache.retain_min_level(level.saturating_sub(1));
-        nodes = next;
-        level += 1;
-    }
-
-    stats.timed_out = timed_out;
-    stats.total = start.elapsed();
-    DiscoveryResult {
-        ocs,
-        ofds,
-        stats,
-        n_rows,
-        n_attrs,
-    }
-}
-
-/// A node is dead when it can produce no further OFD candidates (empty
-/// `Cc⁺`) and no OC candidate of any descendant can survive R4 (every pair
-/// context under this node is a key). See the module docs for the
-/// heredity argument.
-fn node_is_dead(node: &Node, level: usize, key_sets: &AttrSetSet) -> bool {
-    if !node.rhs.is_empty() {
-        return false;
-    }
-    if level < 2 {
-        return false;
-    }
-    let attrs: Vec<usize> = node.set.iter().collect();
-    for i in 0..attrs.len() {
-        for j in i + 1..attrs.len() {
-            let ctx = node.set.without(attrs[i]).without(attrs[j]);
-            if !key_sets.contains(&ctx) {
-                return false;
-            }
-        }
-    }
-    true
+    DiscoveryBuilder::from_config(config.clone()).run(table)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::DiscoveryConfig;
+    use crate::dep::{OcDep, OfdDep};
+    use aod_partition::{AttrSet, Partition};
     use aod_table::{employee_table, RankedTable};
+    use aod_validate::{removal_budget, OcValidator};
 
     fn employee() -> RankedTable {
         RankedTable::from_table(&employee_table())

@@ -1,0 +1,580 @@
+//! The streaming level-wise discovery engine (Section 3.1, Figure 1).
+//!
+//! [`DiscoverySession`] runs the paper's set-based lattice traversal
+//! **level by level**: every [`step`](DiscoverySession::step) processes one
+//! lattice level (validating the level's OFD and OC candidates, applying
+//! pruning rules R2–R4) and then advances the frontier. Callers observe
+//! progress through a stream of [`DiscoveryEvent`]s — the session itself is
+//! an `Iterator<Item = DiscoveryEvent>` — can stop early through a shared
+//! [`CancelToken`], and can harvest well-formed partial results at any
+//! point with [`result`](DiscoverySession::result).
+//!
+//! The per-candidate OC validation is delegated to a pluggable
+//! [`OcValidatorBackend`], so the paper's exact scan, Algorithm 2 and
+//! Algorithm 1 — and any future parallel or sampled validator — run behind
+//! the same driver.
+//!
+//! Sessions are built with [`DiscoveryBuilder`](crate::DiscoveryBuilder);
+//! the one-shot [`discover`](crate::discover) is a thin compat wrapper
+//! that runs a session to completion.
+//!
+//! ```
+//! use aod_core::{DiscoveryBuilder, DiscoveryEvent};
+//! use aod_table::{employee_table, RankedTable};
+//!
+//! let ranked = RankedTable::from_table(&employee_table());
+//! let mut session = DiscoveryBuilder::new().approximate(0.15).build(&ranked);
+//! let mut found = 0;
+//! for event in session.by_ref() {
+//!     if let DiscoveryEvent::OcFound(dep) = event {
+//!         found += 1;
+//!         assert!(dep.factor <= 0.15);
+//!     }
+//! }
+//! assert_eq!(session.into_result().n_ocs(), found);
+//! ```
+
+use crate::candidates::{oc_candidates, ofd_candidates};
+use crate::config::{DiscoveryConfig, Mode};
+use crate::dep::{OcDep, OfdDep};
+use crate::frontier::Frontier;
+use crate::prune_state::{PruneRule, PruneState};
+use crate::result::DiscoveryResult;
+use crate::stats::{DiscoveryStats, LevelStats};
+use aod_partition::{AttrSet, PartitionCache, MAX_ATTRS};
+use aod_table::RankedTable;
+use aod_validate::{min_removal_ofd, removal_budget, OcValidatorBackend};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cloneable handle that cancels a running [`DiscoverySession`].
+///
+/// Cancellation is checked before every lattice node, so a cancelled
+/// session stops within one node's worth of validation work and its
+/// partial results stay well-formed (flagged via
+/// [`DiscoveryStats::stopped_early`]).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Safe to call from another thread or from
+    /// inside the event loop consuming the session.
+    pub fn cancel(&self) {
+        self.inner.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a session stopped stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The lattice ran out of live nodes — the run is complete.
+    Exhausted,
+    /// The configured `max_level` was reached (complete up to that level).
+    MaxLevel,
+    /// The wall-clock budget was exceeded; results are partial.
+    TimedOut,
+    /// A [`CancelToken`] fired; results are partial.
+    Cancelled,
+    /// The `top_k` target was reached; results are partial.
+    TopK,
+}
+
+/// What one [`DiscoverySession::step`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelOutcome {
+    /// The lattice level this step processed.
+    pub level: usize,
+    /// Per-level counters for this level. `n_nodes` always reports the
+    /// full frontier size; the candidate/prune/hit counters cover what
+    /// was actually processed.
+    pub stats: LevelStats,
+    /// `false` when the level was interrupted mid-way (timeout, cancel,
+    /// top-k) — the candidate/prune/hit counters then cover only the
+    /// prefix of nodes processed before the interruption.
+    pub completed: bool,
+    /// Set when the session finished during or right after this level.
+    pub stop: Option<StopReason>,
+}
+
+/// One observable increment of discovery progress.
+///
+/// Events stream in deterministic driver order, so replaying
+/// `OcFound`/`OfdFound` events reconstructs exactly the dependency lists
+/// of the final [`DiscoveryResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryEvent {
+    /// A minimal valid (approximate) OC was found.
+    OcFound(OcDep),
+    /// A minimal valid (approximate) OFD was found.
+    OfdFound(OfdDep),
+    /// An OC candidate was skipped by a pruning rule.
+    Pruned {
+        /// Lattice level of the generating node.
+        level: usize,
+        /// The candidate's context set.
+        context: AttrSet,
+        /// First attribute of the pruned pair.
+        a: usize,
+        /// Second attribute of the pruned pair.
+        b: usize,
+        /// Which rule fired.
+        rule: PruneRule,
+    },
+    /// A lattice level was fully processed.
+    LevelComplete(LevelOutcome),
+    /// The wall-clock budget expired mid-level.
+    TimedOut {
+        /// The level that was being processed.
+        level: usize,
+    },
+    /// A [`CancelToken`] fired mid-run.
+    Cancelled {
+        /// The level that was being processed.
+        level: usize,
+    },
+}
+
+/// Options a [`DiscoveryBuilder`](crate::DiscoveryBuilder) resolves beyond
+/// the plain [`DiscoveryConfig`].
+pub(crate) struct SessionOptions {
+    /// Columns to discover over (defaults to all).
+    pub scope: AttrSet,
+    /// Stop once this many OCs were found.
+    pub top_k: Option<usize>,
+    /// Shared cancellation handle.
+    pub cancel: CancelToken,
+    /// The OC validation backend.
+    pub backend: Box<dyn OcValidatorBackend>,
+    /// Whether events are buffered (one-shot runs disable this).
+    pub record_events: bool,
+}
+
+/// A resumable, observable discovery run over one table.
+///
+/// Created by [`DiscoveryBuilder::build`](crate::DiscoveryBuilder::build).
+/// Drive it with [`step`](DiscoverySession::step) (one lattice level at a
+/// time), or consume it as an iterator of [`DiscoveryEvent`]s — iteration
+/// steps the engine lazily whenever the event buffer runs dry. Partial
+/// results are available at any point and always satisfy the same
+/// minimality invariants as a completed run's.
+pub struct DiscoverySession<'t> {
+    table: &'t RankedTable,
+    config: DiscoveryConfig,
+    scope: AttrSet,
+    top_k: Option<usize>,
+    cancel: CancelToken,
+    backend: Box<dyn OcValidatorBackend>,
+    budget: usize,
+    coverage_denominator: f64,
+    cache: PartitionCache,
+    frontier: Frontier,
+    prune: PruneState,
+    stats: DiscoveryStats,
+    ocs: Vec<OcDep>,
+    ofds: Vec<OfdDep>,
+    events: VecDeque<DiscoveryEvent>,
+    record_events: bool,
+    start: Instant,
+    finished: Option<StopReason>,
+}
+
+impl<'t> DiscoverySession<'t> {
+    /// Builds a session at level 1, validating nothing yet.
+    ///
+    /// # Panics
+    /// If the table has more than [`MAX_ATTRS`] columns, or the scope
+    /// names a column the table doesn't have.
+    pub(crate) fn new(
+        table: &'t RankedTable,
+        config: DiscoveryConfig,
+        options: SessionOptions,
+    ) -> DiscoverySession<'t> {
+        let n_rows = table.n_rows();
+        let n_attrs = table.n_cols();
+        assert!(
+            n_attrs <= MAX_ATTRS,
+            "at most {MAX_ATTRS} attributes supported"
+        );
+        let scope = options.scope;
+        assert!(
+            scope.is_subset_of(AttrSet::full(n_attrs)),
+            "scope contains column indices beyond the table's {n_attrs} columns"
+        );
+        let budget = match config.mode {
+            Mode::Exact => 0,
+            Mode::Approximate { epsilon, .. } => removal_budget(n_rows, epsilon),
+        };
+        let mut cache = PartitionCache::new();
+        let frontier = Frontier::seed(table, scope, &mut cache);
+        DiscoverySession {
+            table,
+            config,
+            scope,
+            top_k: options.top_k,
+            cancel: options.cancel,
+            backend: options.backend,
+            budget,
+            coverage_denominator: n_rows.max(1) as f64,
+            cache,
+            frontier,
+            prune: PruneState::new(n_attrs, n_rows),
+            stats: DiscoveryStats::default(),
+            ocs: Vec::new(),
+            ofds: Vec::new(),
+            events: VecDeque::new(),
+            record_events: options.record_events,
+            start: Instant::now(),
+            finished: None,
+        }
+    }
+
+    /// The lattice level the next [`step`](DiscoverySession::step) will
+    /// process.
+    pub fn level(&self) -> usize {
+        self.frontier.level
+    }
+
+    /// `true` once the session will make no further progress.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Why the session finished, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.finished
+    }
+
+    /// A clone of the session's cancellation handle; cancel it (from any
+    /// thread) to stop the run at the next node boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// OCs found so far (streaming view of the partial result).
+    pub fn ocs_so_far(&self) -> &[OcDep] {
+        &self.ocs
+    }
+
+    /// OFDs found so far.
+    pub fn ofds_so_far(&self) -> &[OfdDep] {
+        &self.ofds
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DiscoveryStats {
+        &self.stats
+    }
+
+    /// Advances the engine by one lattice level.
+    ///
+    /// Returns `None` when the session is already finished (or finishes
+    /// without processing a level, e.g. an exhausted frontier); otherwise
+    /// the [`LevelOutcome`] of the processed level, whose `stop` field
+    /// reports whether — and why — this was the last one.
+    pub fn step(&mut self) -> Option<LevelOutcome> {
+        if self.finished.is_some() {
+            return None;
+        }
+        if self.frontier.is_empty() {
+            self.finish(StopReason::Exhausted);
+            return None;
+        }
+        if self.top_k.is_some_and(|k| self.ocs.len() >= k) {
+            self.finish(StopReason::TopK);
+            return None;
+        }
+
+        let level = self.frontier.level;
+        self.stats.level_mut(level).n_nodes = self.frontier.nodes.len();
+        let mut stop: Option<StopReason> = None;
+
+        'nodes: for idx in 0..self.frontier.nodes.len() {
+            if self.cancel.is_cancelled() {
+                stop = Some(StopReason::Cancelled);
+                break;
+            }
+            if let Some(t) = self.config.timeout {
+                if self.start.elapsed() > t {
+                    stop = Some(StopReason::TimedOut);
+                    break;
+                }
+            }
+            let set = self.frontier.nodes[idx].set;
+
+            // --- OFD candidates: X\{A}: [] |-> A for A in X ∩ Cc+(X) ---
+            for a in ofd_candidates(&self.frontier.nodes[idx]) {
+                if self.validate_ofd(level, set, a) {
+                    // TANE pruning: Cc+(X) := (Cc+(X) ∩ X) \ {A}.
+                    let node = &mut self.frontier.nodes[idx];
+                    node.rhs = node.rhs.intersect(set).without(a);
+                }
+            }
+
+            // --- OC candidates: X\{A,B}: A ~ B for pairs {A,B} ⊆ X ---
+            if level >= 2 {
+                for cand in oc_candidates(set) {
+                    self.validate_oc(level, cand);
+                    if self.top_k.is_some_and(|k| self.ocs.len() >= k) {
+                        stop = Some(StopReason::TopK);
+                        break 'nodes;
+                    }
+                }
+            }
+
+            // Record key-ness for R4 lookups and deadness checks.
+            if self
+                .cache
+                .get(set)
+                .expect("node partition is cached")
+                .is_key()
+            {
+                self.prune.record_key(set);
+            }
+        }
+
+        let mut outcome = LevelOutcome {
+            level,
+            stats: self.stats.level_mut(level).clone(),
+            completed: stop.is_none(),
+            stop: None,
+        };
+
+        match stop {
+            Some(reason) => {
+                match reason {
+                    StopReason::TimedOut => self.emit(DiscoveryEvent::TimedOut { level }),
+                    StopReason::Cancelled => self.emit(DiscoveryEvent::Cancelled { level }),
+                    // A reached top-k target is not an interruption worth an
+                    // event of its own: the outcome's `stop` field carries it.
+                    _ => {}
+                }
+                self.finish(reason);
+            }
+            None => {
+                if self.config.max_level.is_some_and(|m| level >= m) {
+                    self.finish(StopReason::MaxLevel);
+                } else {
+                    self.frontier.advance(
+                        &self.config.prune,
+                        &self.prune,
+                        self.scope,
+                        &mut self.cache,
+                        &mut self.stats,
+                    );
+                    if self.frontier.is_empty() {
+                        self.finish(StopReason::Exhausted);
+                    }
+                }
+            }
+        }
+        outcome.stop = self.finished;
+        if outcome.completed {
+            self.emit(DiscoveryEvent::LevelComplete(outcome.clone()));
+        }
+        self.stats.total = self.start.elapsed();
+        Some(outcome)
+    }
+
+    /// Validates one OFD candidate; returns `true` when it holds (the
+    /// caller then applies TANE's `Cc⁺` shrinking).
+    fn validate_ofd(&mut self, level: usize, set: AttrSet, a: usize) -> bool {
+        let ctx_set = set.without(a);
+        self.stats.level_mut(level).n_ofd_candidates += 1;
+        let col = self.table.column(a);
+        let t0 = Instant::now();
+        let ctx = self.cache.get(ctx_set).expect("parent partition is cached");
+        let removed = match self.config.mode {
+            Mode::Exact => {
+                // FD X\{A} -> A holds iff |Π_{X\{A}}| == |Π_X|
+                // (class-count check; both partitions are cached).
+                let node_part = self.cache.get(set).expect("node partition is cached");
+                (ctx.n_classes_unstripped() == node_part.n_classes_unstripped()).then_some(0)
+            }
+            Mode::Approximate { .. } => {
+                min_removal_ofd(ctx, col.ranks(), col.n_distinct(), self.budget)
+            }
+        };
+        let coverage = ctx.n_grouped_rows() as f64 / self.coverage_denominator;
+        self.stats.ofd_validation += t0.elapsed();
+        let Some(removed) = removed else {
+            return false;
+        };
+        self.stats.level_mut(level).n_ofd_found += 1;
+        let dep = OfdDep {
+            context: ctx_set,
+            rhs: a,
+            removed,
+            factor: removed as f64 / self.coverage_denominator,
+            level,
+            coverage,
+        };
+        if self.record_events {
+            self.events.push_back(DiscoveryEvent::OfdFound(dep.clone()));
+        }
+        self.ofds.push(dep);
+        self.prune.record_constant(a, ctx_set);
+        true
+    }
+
+    /// Validates (or prunes) one OC candidate.
+    fn validate_oc(&mut self, level: usize, cand: crate::candidates::OcCandidate) {
+        let (a, b, ctx_set) = (cand.a, cand.b, cand.context);
+        // R2: implied by an OC found in a sub-context.
+        if self.config.prune.r2_context_implication && self.prune.oc_implied(a, b, ctx_set) {
+            self.prune_event(level, cand, PruneRule::ContextImplication);
+            return;
+        }
+        // R3: implied by a constant attribute.
+        if self.config.prune.r3_constancy_implication && self.prune.constancy_implied(a, b, ctx_set)
+        {
+            self.prune_event(level, cand, PruneRule::ConstancyImplication);
+            return;
+        }
+        let ctx = self
+            .cache
+            .get(ctx_set)
+            .expect("context partition is cached");
+        // R4: keyed context — trivially holds.
+        if self.config.prune.r4_key_pruning && ctx.is_key() {
+            self.prune_event(level, cand, PruneRule::KeyPruning);
+            return;
+        }
+        self.stats.level_mut(level).n_oc_candidates += 1;
+        let (ar, br) = (self.table.column(a).ranks(), self.table.column(b).ranks());
+        let t0 = Instant::now();
+        let removed = self.backend.min_removal(ctx, ar, br, self.budget);
+        let coverage = ctx.n_grouped_rows() as f64 / self.coverage_denominator;
+        self.stats.oc_validation += t0.elapsed();
+        let Some(removed) = removed else {
+            return;
+        };
+        self.stats.level_mut(level).n_oc_found += 1;
+        let dep = OcDep {
+            context: ctx_set,
+            a,
+            b,
+            removed,
+            factor: removed as f64 / self.coverage_denominator,
+            level,
+            coverage,
+        };
+        if self.record_events {
+            self.events.push_back(DiscoveryEvent::OcFound(dep.clone()));
+        }
+        self.ocs.push(dep);
+        self.prune.record_oc(a, b, ctx_set);
+    }
+
+    fn prune_event(&mut self, level: usize, cand: crate::candidates::OcCandidate, rule: PruneRule) {
+        self.stats.level_mut(level).n_oc_pruned += 1;
+        self.emit(DiscoveryEvent::Pruned {
+            level,
+            context: cand.context,
+            a: cand.a,
+            b: cand.b,
+            rule,
+        });
+    }
+
+    fn emit(&mut self, event: DiscoveryEvent) {
+        if self.record_events {
+            self.events.push_back(event);
+        }
+    }
+
+    fn finish(&mut self, reason: StopReason) {
+        self.finished = Some(reason);
+        match reason {
+            StopReason::TimedOut => self.stats.timed_out = true,
+            StopReason::Cancelled | StopReason::TopK => self.stats.stopped_early = true,
+            StopReason::Exhausted | StopReason::MaxLevel => {}
+        }
+        self.stats.total = self.start.elapsed();
+    }
+
+    /// Runs the remaining levels to completion and returns the result.
+    /// Buffered events are discarded (use the iterator to observe them).
+    pub fn run(mut self) -> DiscoveryResult {
+        while self.step().is_some() {
+            self.events.clear();
+        }
+        self.into_result()
+    }
+
+    /// A snapshot of the (possibly partial) results found so far. The
+    /// session can keep stepping afterwards.
+    pub fn result(&self) -> DiscoveryResult {
+        let mut stats = self.stats.clone();
+        if self.finished.is_none() {
+            stats.total = self.start.elapsed();
+        }
+        DiscoveryResult {
+            ocs: self.ocs.clone(),
+            ofds: self.ofds.clone(),
+            stats,
+            n_rows: self.table.n_rows(),
+            n_attrs: self.table.n_cols(),
+        }
+    }
+
+    /// Consumes the session, harvesting the (possibly partial) results
+    /// without cloning the dependency lists.
+    pub fn into_result(mut self) -> DiscoveryResult {
+        if self.finished.is_none() {
+            self.stats.total = self.start.elapsed();
+        }
+        DiscoveryResult {
+            ocs: self.ocs,
+            ofds: self.ofds,
+            stats: self.stats,
+            n_rows: self.table.n_rows(),
+            n_attrs: self.table.n_cols(),
+        }
+    }
+}
+
+impl Iterator for DiscoverySession<'_> {
+    type Item = DiscoveryEvent;
+
+    /// Pops the next buffered event, stepping the engine while the buffer
+    /// is empty. Returns `None` once the session finished and every event
+    /// was drained — use `session.by_ref()` in a `for` loop to keep the
+    /// session afterwards.
+    fn next(&mut self) -> Option<DiscoveryEvent> {
+        loop {
+            if let Some(event) = self.events.pop_front() {
+                return Some(event);
+            }
+            if self.finished.is_some() {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+impl std::fmt::Debug for DiscoverySession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscoverySession")
+            .field("level", &self.frontier.level)
+            .field("backend", &self.backend.name())
+            .field("n_ocs", &self.ocs.len())
+            .field("n_ofds", &self.ofds.len())
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}

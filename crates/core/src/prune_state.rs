@@ -1,0 +1,171 @@
+//! Pruning state accumulated across lattice levels.
+//!
+//! The driver's three candidate-pruning rules and the node-deletion check
+//! all key off facts discovered at lower levels:
+//!
+//! * **R2 (context implication)** — a valid OC in a sub-context implies
+//!   every super-context one: swaps within a finer partition class are
+//!   swaps within the coarser class, so minimal removal sets only shrink
+//!   as contexts grow;
+//! * **R3 (constancy implication)** — if `Y: [] |-> A` holds (w.r.t. ε)
+//!   for `Y ⊆ X\{A,B}`, removing its removal set leaves `A` constant per
+//!   class, so no swap survives: the OC is implied;
+//! * **R4 (key pruning)** — a keyed context has only singleton classes,
+//!   hence no swaps: the OC holds trivially and carries no information.
+//!
+//! [`PruneState`] records the found-OC contexts per pair, the constant
+//! contexts per attribute and the keyed sets, and answers the implication
+//! queries the engine issues per candidate.
+
+use crate::frontier::Node;
+use aod_partition::{AttrSet, AttrSetSet};
+
+/// Which pruning rule skipped a candidate (reported in
+/// [`DiscoveryEvent::Pruned`](crate::DiscoveryEvent::Pruned)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneRule {
+    /// R2 — implied by a valid OC found in a sub-context.
+    ContextImplication,
+    /// R3 — implied by an (approximately) constant attribute.
+    ConstancyImplication,
+    /// R4 — the context partition is a key, so the OC holds trivially.
+    KeyPruning,
+}
+
+/// Cross-level pruning facts: found-OC contexts, constant attributes,
+/// keyed sets.
+#[derive(Debug)]
+pub(crate) struct PruneState {
+    n_attrs: usize,
+    /// R2 state: contexts of found OCs per attribute pair (`a*n+b`, `a<b`).
+    oc_found: Vec<Vec<AttrSet>>,
+    /// R3 state: contexts where each attribute is (approximately) constant.
+    const_found: Vec<Vec<AttrSet>>,
+    /// R4 / deadness state: sets whose partitions are keys.
+    key_sets: AttrSetSet,
+}
+
+impl PruneState {
+    /// Fresh state for an `n_attrs`-column table. Tables with fewer than
+    /// two rows have a keyed empty context from the start.
+    pub fn new(n_attrs: usize, n_rows: usize) -> PruneState {
+        let mut key_sets = AttrSetSet::default();
+        if n_rows < 2 {
+            key_sets.insert(AttrSet::EMPTY);
+        }
+        PruneState {
+            n_attrs,
+            oc_found: vec![Vec::new(); n_attrs * n_attrs],
+            const_found: vec![Vec::new(); n_attrs],
+            key_sets,
+        }
+    }
+
+    /// Records a valid OC `ctx: a ~ b` (`a < b`) for R2 lookups.
+    pub fn record_oc(&mut self, a: usize, b: usize, ctx: AttrSet) {
+        self.oc_found[a * self.n_attrs + b].push(ctx);
+    }
+
+    /// Records a valid OFD `ctx: [] |-> a` for R3 lookups.
+    pub fn record_constant(&mut self, a: usize, ctx: AttrSet) {
+        self.const_found[a].push(ctx);
+    }
+
+    /// Records that `Π_set` is a key, for R4 deadness heredity.
+    pub fn record_key(&mut self, set: AttrSet) {
+        self.key_sets.insert(set);
+    }
+
+    /// R2: is `ctx: a ~ b` implied by an OC found in a sub-context?
+    pub fn oc_implied(&self, a: usize, b: usize, ctx: AttrSet) -> bool {
+        self.oc_found[a * self.n_attrs + b]
+            .iter()
+            .any(|y| y.is_subset_of(ctx))
+    }
+
+    /// R3: is either attribute (approximately) constant in a sub-context?
+    pub fn constancy_implied(&self, a: usize, b: usize, ctx: AttrSet) -> bool {
+        self.const_found[a].iter().any(|y| y.is_subset_of(ctx))
+            || self.const_found[b].iter().any(|y| y.is_subset_of(ctx))
+    }
+
+    /// A node is dead when it can produce no further OFD candidates (empty
+    /// `Cc⁺`) and no OC candidate of any descendant can survive R4 (every
+    /// pair context under this node is a key).
+    ///
+    /// Deadness is hereditary: `Cc⁺` only shrinks going up, and for any
+    /// descendant `Z ⊇ X` and pair `{A,B} ⊆ Z` the context `Z\{A,B}`
+    /// contains some `X\{A',B'}` (take `A' = A` if `A ∈ X` else any;
+    /// likewise `B'`), and supersets of keys are keys. Dead nodes are
+    /// therefore dropped before candidate generation without losing
+    /// completeness — this is what keeps the wide-schema experiments
+    /// (Figure 3) tractable, and why approximate discovery (whose
+    /// OFDs/OCs appear at *lower* levels, pruning earlier) can outrun
+    /// exact discovery (Exp-5).
+    pub fn node_is_dead(&self, node: &Node, level: usize) -> bool {
+        if !node.rhs.is_empty() {
+            return false;
+        }
+        if level < 2 {
+            return false;
+        }
+        let attrs: Vec<usize> = node.set.iter().collect();
+        for i in 0..attrs.len() {
+            for j in i + 1..attrs.len() {
+                let ctx = node.set.without(attrs[i]).without(attrs[j]);
+                if !self.key_sets.contains(&ctx) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implication_queries_respect_subsets() {
+        let mut p = PruneState::new(4, 10);
+        p.record_oc(0, 1, AttrSet::singleton(2));
+        assert!(p.oc_implied(0, 1, AttrSet::from_attrs([2, 3])));
+        assert!(p.oc_implied(0, 1, AttrSet::singleton(2)));
+        assert!(!p.oc_implied(0, 1, AttrSet::singleton(3)));
+        assert!(!p.oc_implied(1, 2, AttrSet::from_attrs([2, 3])));
+
+        p.record_constant(3, AttrSet::EMPTY);
+        assert!(p.constancy_implied(0, 3, AttrSet::singleton(1)));
+        assert!(p.constancy_implied(3, 1, AttrSet::EMPTY));
+        assert!(!p.constancy_implied(0, 1, AttrSet::singleton(3)));
+    }
+
+    #[test]
+    fn tiny_tables_key_the_empty_context() {
+        let p = PruneState::new(2, 1);
+        let node = Node {
+            set: AttrSet::from_attrs([0, 1]),
+            rhs: AttrSet::EMPTY,
+        };
+        // Both pair contexts of {0,1} are the (keyed) empty set.
+        assert!(p.node_is_dead(&node, 2));
+    }
+
+    #[test]
+    fn live_rhs_keeps_nodes_alive() {
+        let mut p = PruneState::new(3, 10);
+        let node = Node {
+            set: AttrSet::from_attrs([0, 1]),
+            rhs: AttrSet::singleton(2),
+        };
+        assert!(!p.node_is_dead(&node, 2));
+        let dead_rhs = Node {
+            set: AttrSet::from_attrs([0, 1]),
+            rhs: AttrSet::EMPTY,
+        };
+        assert!(!p.node_is_dead(&dead_rhs, 2)); // empty context not keyed
+        p.record_key(AttrSet::EMPTY);
+        assert!(p.node_is_dead(&dead_rhs, 2));
+    }
+}

@@ -32,39 +32,42 @@ impl DiscoveryResult {
 
     /// OCs sorted by descending interestingness (Figure 1's ranking stage);
     /// ties broken by ascending approximation factor, then context.
+    ///
+    /// Uses [`f64::total_cmp`], so the order is total and deterministic
+    /// even if a score degenerates to NaN (in the IEEE total order +NaN
+    /// sits above every real, so such deps sort together at the front
+    /// instead of shuffling their neighbours run-to-run).
     pub fn ranked_ocs(&self) -> Vec<&OcDep> {
         let mut out: Vec<&OcDep> = self.ocs.iter().collect();
         out.sort_by(|x, y| {
             y.interestingness()
-                .partial_cmp(&x.interestingness())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    x.factor
-                        .partial_cmp(&y.factor)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+                .total_cmp(&x.interestingness())
+                .then_with(|| x.factor.total_cmp(&y.factor))
                 .then(x.context.cmp(&y.context))
                 .then((x.a, x.b).cmp(&(y.a, y.b)))
         });
         out
     }
 
-    /// OFDs sorted by descending interestingness.
+    /// OFDs sorted by descending interestingness (same total, NaN-safe
+    /// order as [`ranked_ocs`](DiscoveryResult::ranked_ocs)).
     pub fn ranked_ofds(&self) -> Vec<&OfdDep> {
         let mut out: Vec<&OfdDep> = self.ofds.iter().collect();
         out.sort_by(|x, y| {
             y.interestingness()
-                .partial_cmp(&x.interestingness())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    x.factor
-                        .partial_cmp(&y.factor)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+                .total_cmp(&x.interestingness())
+                .then_with(|| x.factor.total_cmp(&y.factor))
                 .then(x.context.cmp(&y.context))
                 .then(x.rhs.cmp(&y.rhs))
         });
         out
+    }
+
+    /// `true` when the run stopped before exhausting the lattice (timeout,
+    /// cancellation or a top-k target) — see
+    /// [`DiscoveryStats::is_partial`].
+    pub fn is_partial(&self) -> bool {
+        self.stats.is_partial()
     }
 
     /// Human-readable multi-line report with resolved column names.
@@ -121,6 +124,27 @@ mod tests {
         assert_eq!((ranked[0].a, ranked[0].b), (2, 3)); // level 2, coverage 1.0
         assert_eq!((ranked[1].a, ranked[1].b), (4, 5)); // level 2, coverage 0.4
         assert_eq!((ranked[2].a, ranked[2].b), (0, 1)); // level 4
+    }
+
+    #[test]
+    fn ranking_is_total_under_nan_scores() {
+        // A NaN coverage poisons interestingness; total_cmp still yields a
+        // deterministic order (+NaN outranks every real, so the poisoned
+        // dep lands at a fixed position instead of destabilising the sort).
+        let mut poisoned = oc(2, f64::NAN, 8, 9);
+        poisoned.factor = f64::NAN;
+        let result = DiscoveryResult {
+            ocs: vec![oc(2, 1.0, 0, 1), poisoned, oc(2, 0.4, 2, 3)],
+            ..DiscoveryResult::default()
+        };
+        let ranked = result.ranked_ocs();
+        assert_eq!((ranked[0].a, ranked[0].b), (8, 9));
+        assert_eq!((ranked[1].a, ranked[1].b), (0, 1));
+        assert_eq!((ranked[2].a, ranked[2].b), (2, 3));
+        // And the order is stable across calls.
+        let again = result.ranked_ocs();
+        let key = |v: &[&OcDep]| v.iter().map(|d| (d.a, d.b)).collect::<Vec<_>>();
+        assert_eq!(key(&ranked), key(&again));
     }
 
     #[test]

@@ -41,9 +41,19 @@ pub struct DiscoveryStats {
     pub per_level: Vec<LevelStats>,
     /// `true` when the run hit its wall-clock budget and returned early.
     pub timed_out: bool,
+    /// `true` when the run was stopped before lattice exhaustion for a
+    /// reason other than the timeout — a fired
+    /// [`CancelToken`](crate::CancelToken) or a reached `top_k` target.
+    pub stopped_early: bool,
 }
 
 impl DiscoveryStats {
+    /// `true` when the results are partial for *any* reason (timeout,
+    /// cancellation or top-k). A `max_level` cap does not count: its
+    /// results are complete up to the configured level.
+    pub fn is_partial(&self) -> bool {
+        self.timed_out || self.stopped_early
+    }
     /// Share of total runtime spent validating OC candidates, in `[0, 1]`.
     pub fn oc_validation_share(&self) -> f64 {
         if self.total.is_zero() {
@@ -135,6 +145,17 @@ mod tests {
         assert_eq!(s.avg_oc_level(), None);
         assert_eq!(s.n_ocs(), 0);
         assert_eq!(s.validation_share(), 0.0);
+    }
+
+    #[test]
+    fn partial_flags() {
+        let mut s = DiscoveryStats::default();
+        assert!(!s.is_partial());
+        s.timed_out = true;
+        assert!(s.is_partial());
+        s.timed_out = false;
+        s.stopped_early = true;
+        assert!(s.is_partial());
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Pluggable OC-validation backends for the discovery engine.
+//!
+//! The level-wise driver in `aod-core` does not care *how* a candidate
+//! `X: A ~ B` is validated — only that some algorithm reports the size of a
+//! removal set within a budget. [`OcValidatorBackend`] captures exactly that
+//! contract, so the three paper configurations (exact scan, **Algorithm 2**
+//! optimal LNDS, **Algorithm 1** iterative baseline) become interchangeable
+//! values, and future backends (parallel, sampled, GPU) plug into the
+//! driver without touching it.
+//!
+//! ```
+//! use aod_partition::Partition;
+//! use aod_validate::{strategy_backend, AocStrategy, OcValidatorBackend};
+//!
+//! let mut backend = strategy_backend(AocStrategy::Optimal);
+//! let ctx = Partition::unit(4);
+//! // B = [0, 2, 1, 3] against ascending A: one removal repairs the OC.
+//! let removed = backend.min_removal(&ctx, &[0, 1, 2, 3], &[0, 2, 1, 3], usize::MAX);
+//! assert_eq!(removed, Some(1));
+//! assert_eq!(backend.name(), "optimal");
+//! ```
+
+use crate::oc::OcValidator;
+use crate::AocStrategy;
+use aod_partition::Partition;
+
+/// A strategy object validating order-compatibility candidates.
+///
+/// Implementations are stateful (they may keep scratch buffers across
+/// candidates — the discovery engine reuses one backend for the entire
+/// run) and must be [`Send`] so sessions can migrate across threads.
+pub trait OcValidatorBackend: Send {
+    /// A short stable identifier ("exact", "optimal", "iterative", …) for
+    /// logs and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Size of the removal set this backend finds for `ctx: A ~ B`, or
+    /// `None` once it can prove the size exceeds `limit` (the paper's
+    /// "INVALID" early exit; pass `usize::MAX` for an unbounded search).
+    ///
+    /// Exact backends report `Some(0)` when the OC holds and `None`
+    /// otherwise; approximate backends need not find a *minimal* set
+    /// (Algorithm 1 overestimates) but must never underestimate.
+    fn min_removal(
+        &mut self,
+        ctx: &Partition,
+        a_ranks: &[u32],
+        b_ranks: &[u32],
+        limit: usize,
+    ) -> Option<usize>;
+}
+
+/// Exact validation: `Some(0)` iff no class contains a swap.
+#[derive(Debug, Default)]
+pub struct ExactOcBackend {
+    validator: OcValidator,
+}
+
+impl OcValidatorBackend for ExactOcBackend {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn min_removal(
+        &mut self,
+        ctx: &Partition,
+        a_ranks: &[u32],
+        b_ranks: &[u32],
+        _limit: usize,
+    ) -> Option<usize> {
+        self.validator
+            .exact_oc_holds(ctx, a_ranks, b_ranks)
+            .then_some(0)
+    }
+}
+
+/// **Algorithm 2** — the LNDS-based validator with provably minimal
+/// removal sets, `O(m log m)` per class.
+#[derive(Debug, Default)]
+pub struct OptimalOcBackend {
+    validator: OcValidator,
+}
+
+impl OcValidatorBackend for OptimalOcBackend {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn min_removal(
+        &mut self,
+        ctx: &Partition,
+        a_ranks: &[u32],
+        b_ranks: &[u32],
+        limit: usize,
+    ) -> Option<usize> {
+        self.validator
+            .min_removal_optimal(ctx, a_ranks, b_ranks, limit)
+    }
+}
+
+/// **Algorithm 1** — the iterative PVLDB'17 baseline,
+/// `O(m log m + ε m²)`, possibly overestimating.
+#[derive(Debug, Default)]
+pub struct IterativeOcBackend {
+    validator: OcValidator,
+}
+
+impl OcValidatorBackend for IterativeOcBackend {
+    fn name(&self) -> &'static str {
+        "iterative"
+    }
+
+    fn min_removal(
+        &mut self,
+        ctx: &Partition,
+        a_ranks: &[u32],
+        b_ranks: &[u32],
+        limit: usize,
+    ) -> Option<usize> {
+        self.validator
+            .min_removal_iterative(ctx, a_ranks, b_ranks, limit)
+    }
+}
+
+/// The backend implementing a configured [`AocStrategy`].
+pub fn strategy_backend(strategy: AocStrategy) -> Box<dyn OcValidatorBackend> {
+    match strategy {
+        AocStrategy::Optimal => Box::new(OptimalOcBackend::default()),
+        AocStrategy::Iterative => Box::new(IterativeOcBackend::default()),
+    }
+}
+
+/// The backend for exact (ε = 0, scan-based) OC validation.
+pub fn exact_backend() -> Box<dyn OcValidatorBackend> {
+    Box::new(ExactOcBackend::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aod_table::{employee_table, RankedTable};
+
+    const SAL: usize = 2;
+    const TAX: usize = 5;
+
+    fn backends() -> Vec<Box<dyn OcValidatorBackend>> {
+        vec![
+            exact_backend(),
+            strategy_backend(AocStrategy::Optimal),
+            strategy_backend(AocStrategy::Iterative),
+        ]
+    }
+
+    #[test]
+    fn backends_agree_with_their_validators() {
+        // e(sal ~ tax) = 4/9: exact says no, optimal 4, iterative 5.
+        let t = RankedTable::from_table(&employee_table());
+        let ctx = Partition::unit(9);
+        let (a, b) = (t.column(SAL).ranks(), t.column(TAX).ranks());
+        let results: Vec<Option<usize>> = backends()
+            .iter_mut()
+            .map(|v| v.min_removal(&ctx, a, b, usize::MAX))
+            .collect();
+        assert_eq!(results, vec![None, Some(4), Some(5)]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = backends().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["exact", "optimal", "iterative"]);
+    }
+
+    #[test]
+    fn limits_turn_into_invalid() {
+        let t = RankedTable::from_table(&employee_table());
+        let ctx = Partition::unit(9);
+        let (a, b) = (t.column(SAL).ranks(), t.column(TAX).ranks());
+        for mut backend in [
+            strategy_backend(AocStrategy::Optimal),
+            strategy_backend(AocStrategy::Iterative),
+        ] {
+            assert_eq!(backend.min_removal(&ctx, a, b, 3), None);
+        }
+    }
+
+    #[test]
+    fn exact_backend_on_holding_oc() {
+        // sal ~ taxGrp holds exactly (Example 2.4).
+        let t = RankedTable::from_table(&employee_table());
+        let ctx = Partition::unit(9);
+        let (a, b) = (t.column(SAL).ranks(), t.column(3).ranks());
+        assert_eq!(exact_backend().min_removal(&ctx, a, b, 0), Some(0));
+    }
+}

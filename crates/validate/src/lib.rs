@@ -7,6 +7,10 @@
 //!   exact swap scan, **Algorithm 2** (LNDS-based, minimal and optimal) and
 //!   **Algorithm 1** (the iterative PVLDB'17 baseline, quadratic and
 //!   non-minimal), plus the descending-tie-break variant for canonical ODs.
+//! * [`OcValidatorBackend`] — the pluggable strategy-object form of the
+//!   same three validators ([`exact_backend`], [`strategy_backend`]); the
+//!   `aod-core` discovery engine dispatches through this trait, so custom
+//!   (parallel, sampled, …) backends drop in without touching the driver.
 //! * [`min_removal_ofd`] and friends — linear approximate OFD validation
 //!   (TANE's `g₃`).
 //! * [`list_od_holds`] / [`list_od_min_removal`] — list-based `X |-> Y`
@@ -34,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod bidirectional;
 mod brute;
 mod oc;
@@ -42,6 +47,10 @@ mod ofd;
 mod sampled;
 mod swap;
 
+pub use backend::{
+    exact_backend, strategy_backend, ExactOcBackend, IterativeOcBackend, OcValidatorBackend,
+    OptimalOcBackend,
+};
 pub use bidirectional::{
     best_direction, bidirectional_oc_holds, is_mixed_swap, min_removal_bidirectional, Direction,
 };

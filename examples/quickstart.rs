@@ -1,5 +1,6 @@
 //! Quickstart: discover approximate order dependencies in the paper's
-//! running example (Table 1, employee salaries).
+//! running example (Table 1, employee salaries) with the streaming
+//! `DiscoverySession` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -12,15 +13,29 @@ fn main() {
     let ranked = RankedTable::from_table(&table);
     let names = table.schema().names();
 
-    // --- Exact discovery: the dirty data hides most dependencies. -------
-    let exact = discover(&ranked, &DiscoveryConfig::exact());
+    // --- Exact discovery (one-shot): the dirt hides most dependencies. --
+    let exact = DiscoveryBuilder::new().exact().run(&ranked);
     println!("=== exact ODs ===");
     println!("{}", exact.report(&names));
 
-    // --- Approximate discovery at ε = 25%. ------------------------------
-    let approx = discover(&ranked, &DiscoveryConfig::approximate(0.25));
-    println!("=== approximate ODs (ε = 25%) ===");
-    println!("{}", approx.report(&names));
+    // --- Approximate discovery at ε = 25%, streamed. --------------------
+    // The session emits an event per found dependency and per completed
+    // lattice level; long runs stay observable and cancellable.
+    println!("=== approximate ODs (ε = 25%), streaming ===");
+    let mut session = DiscoveryBuilder::new().approximate(0.25).build(&ranked);
+    for event in session.by_ref() {
+        match event {
+            DiscoveryEvent::OcFound(dep) => println!("  found {}", dep.display(&names)),
+            DiscoveryEvent::OfdFound(dep) => println!("  found {}", dep.display(&names)),
+            DiscoveryEvent::LevelComplete(outcome) => println!(
+                "  -- level {} done: {} nodes, {} candidates pruned",
+                outcome.level, outcome.stats.n_nodes, outcome.stats.n_oc_pruned
+            ),
+            _ => {}
+        }
+    }
+    let approx = session.into_result();
+    println!("\n{}", approx.report(&names));
 
     // --- Validate a single candidate: Example 2.15. ---------------------
     // e(sal ~ tax) = 4/9 ≈ 0.44: the intended dependency between salary

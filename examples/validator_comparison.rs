@@ -3,6 +3,11 @@
 //! runtime scaling and removal-set minimality (the paper's Section 3 and
 //! Exp-4 in miniature).
 //!
+//! Both algorithms are driven through the pluggable
+//! [`OcValidatorBackend`] trait — the same interface the discovery engine
+//! dispatches through, so a custom backend benchmarked here drops
+//! straight into `DiscoveryBuilder::validator`.
+//!
 //! Run with: `cargo run --release --example validator_comparison`
 
 use aod::datagen::{ColumnKind, ColumnSpec, Generator};
@@ -16,7 +21,8 @@ fn main() {
         "rows", "optimal", "iterative", "opt |s|", "iter |s|", "overest"
     );
 
-    let mut validator = OcValidator::new();
+    let mut optimal = strategy_backend(AocStrategy::Optimal);
+    let mut iterative = strategy_backend(AocStrategy::Iterative);
     for &rows in &[1_000usize, 4_000, 16_000, 64_000] {
         // One dirty monotone pair: ~10% of values shuffled out of order.
         let generator = Generator::new(
@@ -42,15 +48,11 @@ fn main() {
         let (a, b) = (t.column(0).ranks(), t.column(1).ranks());
 
         let t0 = Instant::now();
-        let opt = validator
-            .min_removal_optimal(&ctx, a, b, usize::MAX)
-            .unwrap();
+        let opt = optimal.min_removal(&ctx, a, b, usize::MAX).unwrap();
         let opt_time = t0.elapsed();
 
         let t0 = Instant::now();
-        let iter = validator
-            .min_removal_iterative(&ctx, a, b, usize::MAX)
-            .unwrap();
+        let iter = iterative.min_removal(&ctx, a, b, usize::MAX).unwrap();
         let iter_time = t0.elapsed();
 
         println!(

@@ -16,6 +16,10 @@
 //!
 //! ## Quickstart
 //!
+//! Discovery is driven by a fluent [`DiscoveryBuilder`](core::DiscoveryBuilder)
+//! producing either a one-shot result or a streaming
+//! [`DiscoverySession`](core::DiscoverySession):
+//!
 //! ```
 //! use aod::prelude::*;
 //!
@@ -25,8 +29,21 @@
 //!
 //! // Discover approximate ODs at a 15% threshold with the paper's
 //! // optimal (LNDS-based) validator.
-//! let result = discover(&ranked, &DiscoveryConfig::approximate(0.15));
+//! let result = DiscoveryBuilder::new().approximate(0.15).run(&ranked);
 //! assert!(result.n_ocs() > 0);
+//!
+//! // Or stream the same run: observe events, cancel anytime, harvest
+//! // well-formed partial results.
+//! let mut session = DiscoveryBuilder::new().approximate(0.15).build(&ranked);
+//! let n_found = session
+//!     .by_ref()
+//!     .filter(|e| matches!(e, DiscoveryEvent::OcFound(_)))
+//!     .count();
+//! assert_eq!(session.into_result().n_ocs(), n_found);
+//!
+//! // The one-shot `discover()` remains as compat shorthand.
+//! let compat = discover(&ranked, &DiscoveryConfig::approximate(0.15));
+//! assert_eq!(compat.ocs, result.ocs);
 //!
 //! // Validate one candidate directly: e(sal ~ tax) = 4/9 (Example 2.15).
 //! let outcome = validate_aoc(&ranked, AttrSet::EMPTY, 2, 5, 0.5, AocStrategy::Optimal);
@@ -59,12 +76,14 @@ pub use aod_datagen as datagen;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use aod_core::{
-        discover, AocStrategy, DiscoveryConfig, DiscoveryResult, Mode, OcDep, OfdDep,
+        discover, AocStrategy, CancelToken, DiscoveryBuilder, DiscoveryConfig, DiscoveryEvent,
+        DiscoveryResult, DiscoverySession, LevelOutcome, Mode, OcDep, OfdDep, PruneConfig,
+        PruneRule, StopReason,
     };
     pub use aod_partition::{AttrSet, Partition, PartitionCache};
     pub use aod_table::{employee_table, RankedTable, Schema, Table, Value};
     pub use aod_validate::{
-        list_od_holds, list_od_min_removal, removal_budget, validate_aoc, validate_aod,
-        validate_aofd, OcValidator, Outcome,
+        list_od_holds, list_od_min_removal, removal_budget, strategy_backend, validate_aoc,
+        validate_aod, validate_aofd, OcValidator, OcValidatorBackend, Outcome,
     };
 }

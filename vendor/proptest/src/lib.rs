@@ -3,8 +3,8 @@
 //!
 //! The build environment for this workspace has no crates.io access, so this
 //! vendored crate implements the `proptest` 1.x API surface the workspace
-//! uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
-//! tuple strategies, [`collection::vec`], the [`proptest!`] macro (with
+//! uses: the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`collection::vec()`], the [`proptest!`] macro (with
 //! `#![proptest_config(...)]`), and the `prop_assert*` macros.
 //!
 //! Semantics match real proptest for everything these tests rely on:
