@@ -1,0 +1,101 @@
+//! Parallel-scaling sweep — wall time vs. worker threads for the
+//! work-stealing per-level validator (`aod-exec`), with machine-readable
+//! output so the perf trajectory is tracked across PRs.
+//!
+//! Runs AOD discovery on a flight-shaped datagen workload (default
+//! 50 000 tuples × 12 attributes, the acceptance workload of the parallel
+//! executor) at thread counts `1, 2, 4, …, --max-threads`, prints the
+//! paper-style table with speedups, and writes every sample to
+//! `BENCH_parallel.json` (`--out` to relocate).
+//!
+//! Usage: `cargo run --release -p aod-bench --bin exp_parallel
+//!         [--rows 50000] [--cols 12] [--epsilon 0.1] [--max-threads 4]
+//!         [--seed 42] [--out BENCH_parallel.json]`
+//!
+//! The determinism contract makes the sweep self-checking: every thread
+//! count must report the same OC count, so a divergence is a correctness
+//! regression even before it is a perf one.
+
+use aod_bench::{print_table, write_parallel_json, Dataset, ExpArgs, ParallelSample};
+use aod_core::DiscoveryBuilder;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let rows = args.usize("rows", 50_000);
+    let cols = args.usize("cols", 12);
+    let epsilon = args.epsilon(0.1);
+    let max_threads = args.usize("max-threads", 4).max(1);
+    let seed = args.usize("seed", 42) as u64;
+    let out = args.string("out", "BENCH_parallel.json");
+
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "# Parallel scaling: flight, {rows} tuples x {cols} attrs, epsilon = {epsilon} \
+         (machine has {available} core{})\n",
+        if available == 1 { "" } else { "s" }
+    );
+
+    let table = Dataset::Flight.ranked_first_attrs(rows, cols, seed);
+
+    // 1, 2, 4, 8, ... up to --max-threads (inclusive when itself a power
+    // of two; always measured so the sweep ends at the requested width).
+    let mut thread_counts: Vec<usize> = std::iter::successors(Some(1usize), |t| Some(t * 2))
+        .take_while(|&t| t < max_threads)
+        .collect();
+    thread_counts.push(max_threads);
+    thread_counts.dedup();
+
+    let mut samples: Vec<ParallelSample> = Vec::new();
+    let mut rows_out = Vec::new();
+    let mut base_ms = 0.0f64;
+    for &threads in &thread_counts {
+        let result = DiscoveryBuilder::new()
+            .approximate(epsilon)
+            .parallelism(threads)
+            .run(&table);
+        let wall_ms = result.stats.total.as_secs_f64() * 1e3;
+        if threads == 1 {
+            base_ms = wall_ms;
+        }
+        rows_out.push(vec![
+            threads.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{:.2}x", base_ms / wall_ms.max(1e-9)),
+            result.n_ocs().to_string(),
+            result.n_ofds().to_string(),
+        ]);
+        samples.push(ParallelSample {
+            dataset: Dataset::Flight.name().to_string(),
+            tuples: rows,
+            cols,
+            epsilon,
+            threads: result.stats.threads_used,
+            wall_ms,
+            n_ocs: result.n_ocs(),
+        });
+    }
+    print_table(
+        &["threads", "wall (ms)", "speedup", "#AOCs", "#AOFDs"],
+        &rows_out,
+    );
+
+    let counts: Vec<usize> = samples.iter().map(|s| s.n_ocs).collect();
+    if counts.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("error: OC counts diverge across thread counts: {counts:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "\n(determinism check passed: every thread count found {} AOCs)",
+        counts[0]
+    );
+
+    match write_parallel_json(&out, &samples) {
+        Ok(()) => println!("wrote {} samples to {out}", samples.len()),
+        Err(e) => {
+            eprintln!("error: writing {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

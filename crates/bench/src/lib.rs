@@ -141,6 +141,53 @@ pub fn run_three_modes(table: &RankedTable, epsilon: f64, iterative_timeout: Dur
     ]
 }
 
+/// One measured discovery run in the parallel-scaling sweep — the record
+/// format of `BENCH_parallel.json`, the machine-readable perf trajectory
+/// tracked across PRs.
+#[derive(Debug, Clone)]
+pub struct ParallelSample {
+    /// Dataset family name ("flight" / "ncvoter").
+    pub dataset: String,
+    /// Row count of the generated table.
+    pub tuples: usize,
+    /// Column count of the generated table.
+    pub cols: usize,
+    /// Approximation threshold the run used.
+    pub epsilon: f64,
+    /// Worker-thread count (`DiscoveryStats::threads_used`).
+    pub threads: usize,
+    /// End-to-end discovery wall time in milliseconds.
+    pub wall_ms: f64,
+    /// OCs found — a changed count across PRs flags a correctness drift,
+    /// not just a perf one.
+    pub n_ocs: usize,
+}
+
+impl ParallelSample {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":\"{}\",\"tuples\":{},\"cols\":{},\"epsilon\":{},\"threads\":{},\"wall_ms\":{:.3},\"n_ocs\":{}}}",
+            self.dataset, self.tuples, self.cols, self.epsilon, self.threads, self.wall_ms, self.n_ocs,
+        )
+    }
+}
+
+/// Serialises samples as a JSON array (hand-rolled — the offline
+/// dependency policy excludes serde, and the record is flat).
+pub fn parallel_json(samples: &[ParallelSample]) -> String {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| format!("  {}", s.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Writes the sweep to `path` (conventionally `BENCH_parallel.json` at the
+/// workspace root) so successive PRs can diff the perf trajectory.
+pub fn write_parallel_json(path: &str, samples: &[ParallelSample]) -> std::io::Result<()> {
+    std::fs::write(path, parallel_json(samples))
+}
+
 /// Minimal `--key value` argument parsing for the experiment binaries.
 pub struct ExpArgs {
     args: Vec<(String, String)>,
@@ -185,6 +232,16 @@ impl ExpArgs {
             .find(|(k, _)| k == name)
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// String option with default.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.args
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Float option with default.
@@ -270,6 +327,38 @@ mod tests {
         // must simply produce non-trivial output here.
         assert!(runs[0].result.n_ocs() + runs[0].result.n_ofds() > 0);
         assert!(runs[1].result.n_ocs() + runs[1].result.n_ofds() > 0);
+    }
+
+    #[test]
+    fn parallel_json_is_machine_readable() {
+        let samples = vec![
+            ParallelSample {
+                dataset: "flight".into(),
+                tuples: 50_000,
+                cols: 12,
+                epsilon: 0.1,
+                threads: 1,
+                wall_ms: 1234.5678,
+                n_ocs: 42,
+            },
+            ParallelSample {
+                dataset: "flight".into(),
+                tuples: 50_000,
+                cols: 12,
+                epsilon: 0.1,
+                threads: 4,
+                wall_ms: 345.6,
+                n_ocs: 42,
+            },
+        ];
+        let json = parallel_json(&samples);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"wall_ms\":1234.568")); // 3 decimals
+        assert_eq!(json.matches("\"dataset\":\"flight\"").count(), 2);
+        // Exactly one comma between the two records: valid JSON by shape.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

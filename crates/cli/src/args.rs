@@ -25,6 +25,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "timeout",
     "top",
     "top-k",
+    "threads",
     "columns",
     "pair",
     "context",
@@ -193,6 +194,24 @@ mod tests {
         assert!(a.flag("progress"));
         assert_eq!(a.int("top-k").unwrap(), Some(7));
         assert_eq!(a.value("columns"), Some("a,b,c"));
+    }
+
+    #[test]
+    fn threads_option_parses_and_validates() {
+        let a = parse(&["discover", "f.csv", "--threads", "4"]);
+        assert_eq!(a.int("threads").unwrap(), Some(4));
+        // 0 is valid input (auto-detect); non-integers are usage errors.
+        let a = parse(&["discover", "f.csv", "--threads", "0"]);
+        assert_eq!(a.int("threads").unwrap(), Some(0));
+        let a = parse(&["discover", "f.csv", "--threads", "many"]);
+        assert!(a.int("threads").is_err());
+        // A following flag is never swallowed as the thread count.
+        let argv: Vec<String> = ["discover", "--threads", "--progress", "f.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("--threads needs a value"), "{err}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct DiscoveryBuilder {
     cancel: Option<CancelToken>,
     backend: Option<Box<dyn OcValidatorBackend>>,
     record_events: bool,
+    parallelism: usize,
 }
 
 impl Default for DiscoveryBuilder {
@@ -58,6 +59,7 @@ impl Default for DiscoveryBuilder {
             cancel: None,
             backend: None,
             record_events: true,
+            parallelism: 1,
         }
     }
 }
@@ -81,6 +83,7 @@ impl DiscoveryBuilder {
         b.prune = config.prune;
         b.max_level = config.max_level;
         b.timeout = config.timeout;
+        b.parallelism = config.threads;
         b
     }
 
@@ -166,6 +169,17 @@ impl DiscoveryBuilder {
         self
     }
 
+    /// Worker threads for per-level parallel validation: `1` (the
+    /// default) runs the classic sequential driver, `0` resolves to one
+    /// worker per available core, `n > 1` spawns `n` workers per lattice
+    /// level. Any setting yields **bit-identical** events, dependency
+    /// lists and statistics counters — see the determinism contract on
+    /// [`DiscoverySession`] — so this is purely a wall-clock knob.
+    pub fn parallelism(mut self, threads: usize) -> DiscoveryBuilder {
+        self.parallelism = threads;
+        self
+    }
+
     /// Whether the session buffers [`DiscoveryEvent`](crate::DiscoveryEvent)s
     /// (default `true`). Disable when driving the session purely through
     /// [`step`](DiscoverySession::step) so unobserved events don't
@@ -189,6 +203,7 @@ impl DiscoveryBuilder {
             max_level: self.max_level,
             timeout: self.timeout,
             prune: self.prune,
+            threads: self.parallelism,
         }
     }
 
@@ -235,6 +250,7 @@ impl std::fmt::Debug for DiscoveryBuilder {
             .field("timeout", &self.timeout)
             .field("scope", &self.scope)
             .field("top_k", &self.top_k)
+            .field("parallelism", &self.parallelism)
             .field("custom_backend", &self.backend.as_ref().map(|b| b.name()))
             .finish_non_exhaustive()
     }
@@ -355,6 +371,9 @@ mod tests {
                 _limit: usize,
             ) -> Option<usize> {
                 None
+            }
+            fn fork(&self) -> Box<dyn OcValidatorBackend> {
+                Box::new(Reject)
             }
         }
         let t = employee();

@@ -108,6 +108,13 @@ pub struct DiscoveryConfig {
     pub timeout: Option<Duration>,
     /// Pruning-rule toggles (all on by default).
     pub prune: PruneConfig,
+    /// Worker threads for per-level parallel validation: `1` (the
+    /// default) runs the classic sequential driver, `0` resolves to
+    /// [`std::thread::available_parallelism`], `n > 1` spawns `n` workers
+    /// per level. Results are bit-identical across all settings — see the
+    /// determinism contract on
+    /// [`DiscoverySession`](crate::DiscoverySession).
+    pub threads: usize,
 }
 
 /// The default configuration is exact discovery ([`DiscoveryConfig::exact`]).
@@ -126,6 +133,7 @@ impl DiscoveryConfig {
             max_level: None,
             timeout: None,
             prune: PruneConfig::default(),
+            threads: 1,
         }
     }
 
@@ -165,6 +173,14 @@ impl DiscoveryConfig {
     #[must_use = "with_* returns a new config instead of mutating in place"]
     pub fn with_pruning(mut self, prune: PruneConfig) -> DiscoveryConfig {
         self.prune = prune;
+        self
+    }
+
+    /// Builder: set the worker-thread count (`0` = one per available
+    /// core).
+    #[must_use = "with_* returns a new config instead of mutating in place"]
+    pub fn with_threads(mut self, threads: usize) -> DiscoveryConfig {
+        self.threads = threads;
         self
     }
 }
@@ -213,6 +229,14 @@ mod tests {
         assert_eq!(d.max_level, None);
         assert_eq!(d.timeout, None);
         assert_eq!(d.prune, PruneConfig::default());
+        assert_eq!(d.threads, 1, "sequential unless asked otherwise");
+    }
+
+    #[test]
+    fn threads_builder() {
+        let c = DiscoveryConfig::exact().with_threads(4);
+        assert_eq!(c.threads, 4);
+        assert_eq!(DiscoveryConfig::exact().with_threads(0).threads, 0);
     }
 
     #[test]

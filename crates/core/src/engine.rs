@@ -18,6 +18,27 @@
 //! the one-shot [`discover`](crate::discover) is a thin compat wrapper
 //! that runs a session to completion.
 //!
+//! ## Threading and determinism contract
+//!
+//! With [`DiscoveryBuilder::parallelism`](crate::DiscoveryBuilder::parallelism)
+//! `> 1` (or `0` = one worker per core) each lattice level's nodes are
+//! validated concurrently on an [`aod_exec::Executor`]: the engine
+//! freezes the partition cache into an `Arc`-shared read view, forks the
+//! [`OcValidatorBackend`] once per worker, and lets the workers claim
+//! nodes from work-stealing deques. Per-node results are then **merged at
+//! the level barrier in node order**, replaying found-dependency
+//! recordings, pruning facts and events exactly as the sequential driver
+//! would have produced them. The guarantee: for every configuration the
+//! event stream, the dependency lists (including `f64` factors and
+//! coverage), and all order-insensitive statistics counters are
+//! **bit-identical** across thread counts — only the `Duration` phase
+//! timers (which sum per-worker CPU time) and
+//! [`DiscoveryStats::threads_used`] differ. Early stops keep the same
+//! shape: `top_k` truncates the merge at exactly the candidate the
+//! sequential run would have stopped at, and cancellation/timeout drop a
+//! suffix of nodes at the interruption point (their timing is inherently
+//! racy in both modes).
+//!
 //! ```
 //! use aod_core::{DiscoveryBuilder, DiscoveryEvent};
 //! use aod_table::{employee_table, RankedTable};
@@ -37,10 +58,12 @@
 use crate::candidates::{oc_candidates, ofd_candidates};
 use crate::config::{DiscoveryConfig, Mode};
 use crate::dep::{OcDep, OfdDep};
-use crate::frontier::Frontier;
+use crate::frontier::{Frontier, Node};
+use crate::parallel::{eval_node, stop_check, LevelCtx, NodeEval, NodeResult, OcEval};
 use crate::prune_state::{PruneRule, PruneState};
 use crate::result::DiscoveryResult;
 use crate::stats::{DiscoveryStats, LevelStats};
+use aod_exec::Executor;
 use aod_partition::{AttrSet, PartitionCache, MAX_ATTRS};
 use aod_table::RankedTable;
 use aod_validate::{min_removal_ofd, removal_budget, OcValidatorBackend};
@@ -183,6 +206,9 @@ pub struct DiscoverySession<'t> {
     cache: PartitionCache,
     frontier: Frontier,
     prune: PruneState,
+    /// `Some` when the resolved thread count exceeds 1 — per-level node
+    /// validation and partition products then run on the executor.
+    executor: Option<Executor>,
     stats: DiscoveryStats,
     ocs: Vec<OcDep>,
     ofds: Vec<OfdDep>,
@@ -220,6 +246,13 @@ impl<'t> DiscoverySession<'t> {
         };
         let mut cache = PartitionCache::new();
         let frontier = Frontier::seed(table, scope, &mut cache);
+        let exec = Executor::new(config.threads);
+        let threads_used = exec.threads();
+        let executor = (threads_used > 1).then_some(exec);
+        let stats = DiscoveryStats {
+            threads_used,
+            ..DiscoveryStats::default()
+        };
         DiscoverySession {
             table,
             config,
@@ -232,7 +265,8 @@ impl<'t> DiscoverySession<'t> {
             cache,
             frontier,
             prune: PruneState::new(n_attrs, n_rows),
-            stats: DiscoveryStats::default(),
+            executor,
+            stats,
             ocs: Vec::new(),
             ofds: Vec::new(),
             events: VecDeque::new(),
@@ -300,8 +334,60 @@ impl<'t> DiscoverySession<'t> {
 
         let level = self.frontier.level;
         self.stats.level_mut(level).n_nodes = self.frontier.nodes.len();
-        let mut stop: Option<StopReason> = None;
+        let stop = match self.executor.clone() {
+            Some(exec) => self.process_level_parallel(level, &exec),
+            None => self.process_level_sequential(level),
+        };
 
+        let mut outcome = LevelOutcome {
+            level,
+            stats: self.stats.level_mut(level).clone(),
+            completed: stop.is_none(),
+            stop: None,
+        };
+
+        match stop {
+            Some(reason) => {
+                match reason {
+                    StopReason::TimedOut => self.emit(DiscoveryEvent::TimedOut { level }),
+                    StopReason::Cancelled => self.emit(DiscoveryEvent::Cancelled { level }),
+                    // A reached top-k target is not an interruption worth an
+                    // event of its own: the outcome's `stop` field carries it.
+                    _ => {}
+                }
+                self.finish(reason);
+            }
+            None => {
+                if self.config.max_level.is_some_and(|m| level >= m) {
+                    self.finish(StopReason::MaxLevel);
+                } else {
+                    self.frontier.advance(
+                        &self.config.prune,
+                        &self.prune,
+                        self.scope,
+                        &mut self.cache,
+                        &mut self.stats,
+                        self.executor.as_ref(),
+                    );
+                    if self.frontier.is_empty() {
+                        self.finish(StopReason::Exhausted);
+                    }
+                }
+            }
+        }
+        outcome.stop = self.finished;
+        if outcome.completed {
+            self.emit(DiscoveryEvent::LevelComplete(outcome.clone()));
+        }
+        self.stats.total = self.start.elapsed();
+        Some(outcome)
+    }
+
+    /// The sequential per-level driver: validate every node's candidates
+    /// in deterministic order, stopping at the first cancel/timeout/top-k
+    /// trigger.
+    fn process_level_sequential(&mut self, level: usize) -> Option<StopReason> {
+        let mut stop: Option<StopReason> = None;
         'nodes: for idx in 0..self.frontier.nodes.len() {
             if self.cancel.is_cancelled() {
                 stop = Some(StopReason::Cancelled);
@@ -345,48 +431,124 @@ impl<'t> DiscoverySession<'t> {
                 self.prune.record_key(set);
             }
         }
+        stop
+    }
 
-        let mut outcome = LevelOutcome {
+    /// The parallel per-level driver: freeze the cache, fan the nodes out
+    /// to forked backends on the executor, then merge the per-node
+    /// verdicts in node order — bit-identical to the sequential path (see
+    /// the module-level determinism contract).
+    fn process_level_parallel(&mut self, level: usize, exec: &Executor) -> Option<StopReason> {
+        let view = self.cache.freeze();
+        let nodes: Vec<Node> = self.frontier.nodes.clone();
+        let backends: Vec<Box<dyn OcValidatorBackend>> =
+            (0..exec.threads()).map(|_| self.backend.fork()).collect();
+        let lctx = LevelCtx {
+            table: self.table,
+            view: &view,
+            prune: &self.prune,
+            prune_cfg: self.config.prune,
+            mode: self.config.mode,
+            budget: self.budget,
+            coverage_denominator: self.coverage_denominator,
             level,
-            stats: self.stats.level_mut(level).clone(),
-            completed: stop.is_none(),
-            stop: None,
+            cancel: &self.cancel,
+            timeout: self.config.timeout,
+            start: self.start,
         };
-
-        match stop {
-            Some(reason) => {
-                match reason {
-                    StopReason::TimedOut => self.emit(DiscoveryEvent::TimedOut { level }),
-                    StopReason::Cancelled => self.emit(DiscoveryEvent::Cancelled { level }),
-                    // A reached top-k target is not an interruption worth an
-                    // event of its own: the outcome's `stop` field carries it.
-                    _ => {}
-                }
-                self.finish(reason);
+        let results = exec.par_map_with_state(backends, &nodes, |backend, _idx, node| {
+            // Same per-node stop checks as the sequential driver; an
+            // interrupted node (and, after the merge cut, everything
+            // beyond it) counts as unprocessed.
+            match stop_check(&lctx) {
+                Some(reason) => NodeResult::Interrupted(reason),
+                None => NodeResult::Done(eval_node(&lctx, node, backend.as_mut())),
             }
-            None => {
-                if self.config.max_level.is_some_and(|m| level >= m) {
-                    self.finish(StopReason::MaxLevel);
-                } else {
-                    self.frontier.advance(
-                        &self.config.prune,
-                        &self.prune,
-                        self.scope,
-                        &mut self.cache,
-                        &mut self.stats,
-                    );
-                    if self.frontier.is_empty() {
-                        self.finish(StopReason::Exhausted);
+        });
+        drop(view);
+        self.merge_level(level, &nodes, results)
+    }
+
+    /// Replays per-node evaluations in node order: pushes found
+    /// dependencies and events, applies TANE `Cc⁺` shrinking, records
+    /// pruning facts, and enforces the top-k / interruption cut exactly
+    /// where the sequential driver would have stopped.
+    fn merge_level(
+        &mut self,
+        level: usize,
+        nodes: &[Node],
+        results: Vec<NodeResult>,
+    ) -> Option<StopReason> {
+        let mut stop: Option<StopReason> = None;
+        'nodes: for (idx, result) in results.into_iter().enumerate() {
+            let eval: NodeEval = match result {
+                NodeResult::Interrupted(reason) => {
+                    stop = Some(reason);
+                    break;
+                }
+                NodeResult::Done(eval) => eval,
+            };
+            let set = nodes[idx].set;
+            self.stats.ofd_validation += eval.ofd_time;
+            self.stats.oc_validation += eval.oc_time;
+
+            for ofd in eval.ofds {
+                self.stats.level_mut(level).n_ofd_candidates += 1;
+                let Some(removed) = ofd.removed else { continue };
+                self.stats.level_mut(level).n_ofd_found += 1;
+                let ctx_set = set.without(ofd.a);
+                let dep = OfdDep {
+                    context: ctx_set,
+                    rhs: ofd.a,
+                    removed,
+                    factor: removed as f64 / self.coverage_denominator,
+                    level,
+                    coverage: ofd.coverage,
+                };
+                if self.record_events {
+                    self.events.push_back(DiscoveryEvent::OfdFound(dep.clone()));
+                }
+                self.ofds.push(dep);
+                self.prune.record_constant(ofd.a, ctx_set);
+                // TANE pruning: Cc+(X) := (Cc+(X) ∩ X) \ {A}.
+                let node = &mut self.frontier.nodes[idx];
+                node.rhs = node.rhs.intersect(set).without(ofd.a);
+            }
+
+            for (cand, oc) in eval.ocs {
+                match oc {
+                    OcEval::Pruned(rule) => self.prune_event(level, cand, rule),
+                    OcEval::Validated { removed, coverage } => {
+                        self.stats.level_mut(level).n_oc_candidates += 1;
+                        let Some(removed) = removed else { continue };
+                        self.stats.level_mut(level).n_oc_found += 1;
+                        let dep = OcDep {
+                            context: cand.context,
+                            a: cand.a,
+                            b: cand.b,
+                            removed,
+                            factor: removed as f64 / self.coverage_denominator,
+                            level,
+                            coverage,
+                        };
+                        if self.record_events {
+                            self.events.push_back(DiscoveryEvent::OcFound(dep.clone()));
+                        }
+                        self.ocs.push(dep);
+                        self.prune.record_oc(cand.a, cand.b, cand.context);
+                        if self.top_k.is_some_and(|k| self.ocs.len() >= k) {
+                            stop = Some(StopReason::TopK);
+                            break 'nodes;
+                        }
                     }
                 }
             }
+
+            if eval.is_key {
+                self.prune.record_key(set);
+            }
         }
-        outcome.stop = self.finished;
-        if outcome.completed {
-            self.emit(DiscoveryEvent::LevelComplete(outcome.clone()));
-        }
-        self.stats.total = self.start.elapsed();
-        Some(outcome)
+        stop
     }
 
     /// Validates one OFD candidate; returns `true` when it holds (the
@@ -572,9 +734,105 @@ impl std::fmt::Debug for DiscoverySession<'_> {
         f.debug_struct("DiscoverySession")
             .field("level", &self.frontier.level)
             .field("backend", &self.backend.name())
+            .field("threads", &self.stats.threads_used)
             .field("n_ocs", &self.ocs.len())
             .field("n_ofds", &self.ofds.len())
             .field("finished", &self.finished)
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DiscoveryBuilder;
+    use crate::engine::DiscoveryEvent;
+    use aod_table::{employee_table, RankedTable};
+
+    fn employee() -> RankedTable {
+        RankedTable::from_table(&employee_table())
+    }
+
+    /// The determinism contract on the smallest real workload: events,
+    /// dependency lists and counters are bit-identical across thread
+    /// counts (the cross-config sweep lives in
+    /// `tests/parallel_determinism.rs`).
+    #[test]
+    fn parallel_sessions_match_sequential_bit_for_bit() {
+        let t = employee();
+        let build = |threads: usize| {
+            DiscoveryBuilder::new()
+                .approximate(0.15)
+                .parallelism(threads)
+                .build(&t)
+        };
+        let mut seq = build(1);
+        let seq_events: Vec<DiscoveryEvent> = seq.by_ref().collect();
+        let seq_result = seq.into_result();
+        for threads in [2usize, 4] {
+            let mut par = build(threads);
+            let par_events: Vec<DiscoveryEvent> = par.by_ref().collect();
+            assert_eq!(par_events, seq_events, "threads = {threads}");
+            let par_result = par.into_result();
+            assert_eq!(par_result.ocs, seq_result.ocs);
+            assert_eq!(par_result.ofds, seq_result.ofds);
+            assert_eq!(par_result.stats.per_level, seq_result.stats.per_level);
+            assert_eq!(par_result.stats.threads_used, threads);
+        }
+        assert_eq!(seq_result.stats.threads_used, 1);
+    }
+
+    /// `parallelism(0)` resolves to the machine's available parallelism
+    /// and still reproduces the sequential run.
+    #[test]
+    fn auto_parallelism_resolves_and_matches() {
+        let t = employee();
+        let auto = DiscoveryBuilder::new().exact().parallelism(0).run(&t);
+        let seq = DiscoveryBuilder::new().exact().run(&t);
+        assert!(auto.stats.threads_used >= 1);
+        assert_eq!(auto.ocs, seq.ocs);
+        assert_eq!(auto.ofds, seq.ofds);
+    }
+
+    /// The eviction invariant end-to-end: while the engine runs, the
+    /// partition cache never holds a partition more than two levels below
+    /// the frontier (peak residency = two completed levels + frontier),
+    /// yet the level-`ℓ−2` context partitions the OC validator needs are
+    /// always present.
+    #[test]
+    fn cache_residency_stays_within_two_levels_of_frontier() {
+        let t = employee();
+        for threads in [1usize, 4] {
+            let mut session = DiscoveryBuilder::new()
+                .approximate(0.1)
+                .parallelism(threads)
+                .record_events(false)
+                .build(&t);
+            while session.step().is_some() {
+                let frontier_level = session.frontier.level;
+                for set in session.cache.cached_sets() {
+                    assert!(
+                        set.len() + 2 >= frontier_level,
+                        "level-{} partition resident at frontier level {frontier_level}",
+                        set.len(),
+                    );
+                    assert!(set.len() <= frontier_level);
+                }
+                // The next level's OC contexts (ℓ−2) are already cached.
+                if !session.frontier.is_empty() && frontier_level >= 2 {
+                    for node in &session.frontier.nodes {
+                        let attrs: Vec<usize> = node.set.iter().collect();
+                        for (i, &a) in attrs.iter().enumerate() {
+                            for &b in &attrs[i + 1..] {
+                                let ctx = node.set.without(a).without(b);
+                                assert!(
+                                    session.cache.get(ctx).is_some(),
+                                    "context {ctx} missing at level {frontier_level}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

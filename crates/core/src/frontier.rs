@@ -12,7 +12,10 @@
 use crate::config::PruneConfig;
 use crate::prune_state::PruneState;
 use crate::stats::DiscoveryStats;
-use aod_partition::{prefix_join, AttrSet, AttrSetMap, Partition, PartitionCache};
+use aod_exec::Executor;
+use aod_partition::{
+    prefix_join, AttrSet, AttrSetMap, JoinedChild, Partition, PartitionCache, ProductScratch,
+};
 use aod_table::RankedTable;
 use std::time::Instant;
 
@@ -64,6 +67,12 @@ impl Frontier {
     /// deletion), prefix join, `Cc⁺` intersection and partition products.
     /// Evicts cached partitions below level `ℓ−1` afterwards so peak
     /// memory stays at two lattice levels.
+    ///
+    /// With an executor, the partition products — the `partitioning`
+    /// phase of the stats breakdown — are computed in parallel against a
+    /// frozen cache view with per-worker [`ProductScratch`], and merged
+    /// back in deterministic child order; the resulting cache contents and
+    /// product counts are identical to the sequential path.
     pub fn advance(
         &mut self,
         prune_cfg: &PruneConfig,
@@ -71,6 +80,7 @@ impl Frontier {
         scope: AttrSet,
         cache: &mut PartitionCache,
         stats: &mut DiscoveryStats,
+        executor: Option<&Executor>,
     ) {
         let retained: Vec<AttrSet> = self
             .nodes
@@ -80,7 +90,8 @@ impl Frontier {
             .collect();
         let rhs_map: AttrSetMap<AttrSet> = self.nodes.iter().map(|n| (n.set, n.rhs)).collect();
 
-        let mut next = Vec::new();
+        // Survivors of the apriori check, with their children's Cc⁺ sets.
+        let mut joins: Vec<(JoinedChild, AttrSet)> = Vec::new();
         for join in prefix_join(&retained) {
             // Cc+(child) = ∩ over all level-ℓ subsets.
             let mut rhs = scope;
@@ -94,17 +105,49 @@ impl Frontier {
                     }
                 }
             }
-            if !all_present {
-                continue;
+            if all_present {
+                joins.push((join, rhs));
             }
-            let t0 = Instant::now();
-            cache.product_into(join.parent_a, join.parent_b);
-            stats.partitioning += t0.elapsed();
-            next.push(Node {
-                set: join.child,
-                rhs,
-            });
         }
+
+        let t0 = Instant::now();
+        let mut next = Vec::with_capacity(joins.len());
+        match executor {
+            Some(exec) if joins.len() > 1 => {
+                let view = cache.freeze();
+                let scratches: Vec<ProductScratch> = (0..exec.threads())
+                    .map(|_| ProductScratch::default())
+                    .collect();
+                let products =
+                    exec.par_map_with_state(scratches, &joins, |scratch, _i, (join, _rhs)| {
+                        let l = view
+                            .get(join.parent_a)
+                            .expect("parent partition is in the frozen view");
+                        let r = view
+                            .get(join.parent_b)
+                            .expect("parent partition is in the frozen view");
+                        l.product_with_scratch(r, scratch)
+                    });
+                drop(view);
+                for ((join, rhs), product) in joins.into_iter().zip(products) {
+                    cache.insert_product(join.child, product);
+                    next.push(Node {
+                        set: join.child,
+                        rhs,
+                    });
+                }
+            }
+            _ => {
+                for (join, rhs) in joins {
+                    cache.product_into(join.parent_a, join.parent_b);
+                    next.push(Node {
+                        set: join.child,
+                        rhs,
+                    });
+                }
+            }
+        }
+        stats.partitioning += t0.elapsed();
 
         // Keep levels ℓ-1 (contexts at level ℓ+1), ℓ (parents) and ℓ+1.
         cache.retain_min_level(self.level.saturating_sub(1));
@@ -146,11 +189,60 @@ mod tests {
             scope,
             &mut cache,
             &mut stats,
+            None,
         );
         assert_eq!(f.level, 2);
         assert_eq!(f.nodes.len(), 3); // {0,1}, {0,2}, {1,2}
         assert!(cache.get(AttrSet::from_attrs([0, 1])).is_some());
         // Cc+ starts as the intersection of the singleton rhs sets.
         assert!(f.nodes.iter().all(|n| n.rhs == scope));
+    }
+
+    #[test]
+    fn parallel_advance_matches_sequential() {
+        let t = RankedTable::from_table(&employee_table());
+        let scope = AttrSet::full(t.n_cols());
+        let prune = PruneState::new(t.n_cols(), t.n_rows());
+        let exec = Executor::new(4);
+
+        let mut seq_cache = PartitionCache::new();
+        let mut seq = Frontier::seed(&t, scope, &mut seq_cache);
+        let mut par_cache = PartitionCache::new();
+        let mut par = Frontier::seed(&t, scope, &mut par_cache);
+        let mut stats = DiscoveryStats::default();
+        for _ in 0..3 {
+            seq.advance(
+                &PruneConfig::default(),
+                &prune,
+                scope,
+                &mut seq_cache,
+                &mut stats,
+                None,
+            );
+            par.advance(
+                &PruneConfig::default(),
+                &prune,
+                scope,
+                &mut par_cache,
+                &mut stats,
+                Some(&exec),
+            );
+            assert_eq!(par.level, seq.level);
+            assert_eq!(par.nodes.len(), seq.nodes.len());
+            for (p, s) in par.nodes.iter().zip(&seq.nodes) {
+                assert_eq!(p.set, s.set);
+                assert_eq!(p.rhs, s.rhs);
+            }
+            // Identical cache contents and product accounting.
+            assert_eq!(par_cache.n_products(), seq_cache.n_products());
+            let mut p_sets = par_cache.cached_sets();
+            let mut s_sets = seq_cache.cached_sets();
+            p_sets.sort_unstable();
+            s_sets.sort_unstable();
+            assert_eq!(p_sets, s_sets);
+            for &set in &s_sets {
+                assert_eq!(par_cache.get(set), seq_cache.get(set), "{set}");
+            }
+        }
     }
 }

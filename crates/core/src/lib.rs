@@ -62,6 +62,7 @@ mod dep;
 mod discover;
 pub mod engine;
 mod frontier;
+mod parallel;
 mod prune_state;
 mod repair;
 mod result;
@@ -79,5 +80,6 @@ pub use result::DiscoveryResult;
 pub use stats::{DiscoveryStats, LevelStats};
 
 // Re-exports so callers can configure runs and inspect lattices with one import.
+pub use aod_exec::Executor;
 pub use aod_partition::{prefix_join, JoinedChild};
 pub use aod_validate::{AocStrategy, OcValidatorBackend};

@@ -1,0 +1,191 @@
+//! Per-node evaluation for the parallel level driver.
+//!
+//! The level-wise traversal makes every lattice node of level `ℓ`
+//! independent *within the level*: validation reads only the frozen
+//! partitions of levels `ℓ`/`ℓ−1`/`ℓ−2` and pruning facts recorded at
+//! levels `< ℓ` — facts recorded *during* level `ℓ` cannot influence the
+//! same level, because
+//!
+//! * an OC recorded at level `ℓ` has a context of size `ℓ−2`; rule R2
+//!   asks whether a recorded context is a subset of a candidate context of
+//!   the same size `ℓ−2`, i.e. *equal* — and each `(context, pair)`
+//!   appears at exactly one node, checked before it could be recorded;
+//! * an OFD recorded at level `ℓ` has a context of size `ℓ−1`, which can
+//!   never be a subset of a same-level OC candidate context (size `ℓ−2`),
+//!   so rule R3 is unaffected;
+//! * keyed-set facts feed rule R4 through the *partition* (`is_key`),
+//!   not the recorded set, and node deletion only consults sets two
+//!   levels down.
+//!
+//! [`eval_node`] therefore computes, against immutable snapshots, exactly
+//! what the sequential driver would compute for one node; the engine
+//! merges the per-node [`NodeEval`]s **in node order** at the level
+//! barrier, replaying recordings, events and counters so the parallel run
+//! is bit-identical to the sequential one.
+
+use crate::candidates::{oc_candidates, ofd_candidates, OcCandidate};
+use crate::config::{Mode, PruneConfig};
+use crate::engine::{CancelToken, StopReason};
+use crate::frontier::Node;
+use crate::prune_state::{PruneRule, PruneState};
+use aod_partition::FrozenPartitions;
+use aod_table::RankedTable;
+use aod_validate::{min_removal_ofd, OcValidatorBackend};
+use std::time::{Duration, Instant};
+
+/// Immutable level-wide inputs shared by every worker.
+pub(crate) struct LevelCtx<'a> {
+    pub table: &'a RankedTable,
+    pub view: &'a FrozenPartitions,
+    pub prune: &'a PruneState,
+    pub prune_cfg: PruneConfig,
+    pub mode: Mode,
+    pub budget: usize,
+    pub coverage_denominator: f64,
+    pub level: usize,
+    pub cancel: &'a CancelToken,
+    pub timeout: Option<Duration>,
+    pub start: Instant,
+}
+
+/// One OFD candidate's verdict (`removed.is_some()` ⇔ it holds).
+pub(crate) struct OfdEval {
+    pub a: usize,
+    pub removed: Option<usize>,
+    pub coverage: f64,
+}
+
+/// One OC candidate's verdict.
+pub(crate) enum OcEval {
+    /// Skipped by a pruning rule (R2–R4).
+    Pruned(PruneRule),
+    /// Validated by the backend (`removed.is_some()` ⇔ it holds).
+    Validated {
+        removed: Option<usize>,
+        coverage: f64,
+    },
+}
+
+/// Everything one node's validation produced, in candidate order.
+pub(crate) struct NodeEval {
+    pub ofds: Vec<OfdEval>,
+    pub ocs: Vec<(OcCandidate, OcEval)>,
+    pub is_key: bool,
+    pub ofd_time: Duration,
+    pub oc_time: Duration,
+}
+
+/// A worker's result for one claimed node.
+pub(crate) enum NodeResult {
+    /// The node was fully evaluated.
+    Done(NodeEval),
+    /// The worker observed a stop condition *before* starting the node;
+    /// the merge treats this node — and everything after it — as
+    /// unprocessed, exactly like the sequential per-node stop checks.
+    Interrupted(StopReason),
+}
+
+/// Evaluates one node against the frozen snapshots — the parallel twin of
+/// the sequential driver's per-node body, kept computation-for-computation
+/// identical (same candidate order, same early exits, same coverage math).
+pub(crate) fn eval_node(
+    ctx: &LevelCtx<'_>,
+    node: &Node,
+    backend: &mut dyn OcValidatorBackend,
+) -> NodeEval {
+    let set = node.set;
+    let mut ofd_time = Duration::ZERO;
+    let mut oc_time = Duration::ZERO;
+
+    // --- OFD candidates: X\{A}: [] |-> A for A in X ∩ Cc+(X) ---
+    let mut ofds = Vec::new();
+    for a in ofd_candidates(node) {
+        let ctx_set = set.without(a);
+        let col = ctx.table.column(a);
+        let t0 = Instant::now();
+        let ctx_part = ctx
+            .view
+            .get(ctx_set)
+            .expect("parent partition is in the frozen view");
+        let removed = match ctx.mode {
+            Mode::Exact => {
+                let node_part = ctx
+                    .view
+                    .get(set)
+                    .expect("node partition is in the frozen view");
+                (ctx_part.n_classes_unstripped() == node_part.n_classes_unstripped()).then_some(0)
+            }
+            Mode::Approximate { .. } => {
+                min_removal_ofd(ctx_part, col.ranks(), col.n_distinct(), ctx.budget)
+            }
+        };
+        let coverage = ctx_part.n_grouped_rows() as f64 / ctx.coverage_denominator;
+        ofd_time += t0.elapsed();
+        ofds.push(OfdEval {
+            a,
+            removed,
+            coverage,
+        });
+    }
+
+    // --- OC candidates: X\{A,B}: A ~ B for pairs {A,B} ⊆ X ---
+    let mut ocs = Vec::new();
+    if ctx.level >= 2 {
+        for cand in oc_candidates(set) {
+            let (a, b, ctx_set) = (cand.a, cand.b, cand.context);
+            let eval =
+                if ctx.prune_cfg.r2_context_implication && ctx.prune.oc_implied(a, b, ctx_set) {
+                    OcEval::Pruned(PruneRule::ContextImplication)
+                } else if ctx.prune_cfg.r3_constancy_implication
+                    && ctx.prune.constancy_implied(a, b, ctx_set)
+                {
+                    OcEval::Pruned(PruneRule::ConstancyImplication)
+                } else {
+                    let ctx_part = ctx
+                        .view
+                        .get(ctx_set)
+                        .expect("context partition is in the frozen view");
+                    if ctx.prune_cfg.r4_key_pruning && ctx_part.is_key() {
+                        OcEval::Pruned(PruneRule::KeyPruning)
+                    } else {
+                        let (ar, br) = (ctx.table.column(a).ranks(), ctx.table.column(b).ranks());
+                        let t0 = Instant::now();
+                        let removed = backend.min_removal(ctx_part, ar, br, ctx.budget);
+                        let coverage = ctx_part.n_grouped_rows() as f64 / ctx.coverage_denominator;
+                        oc_time += t0.elapsed();
+                        OcEval::Validated { removed, coverage }
+                    }
+                };
+            ocs.push((cand, eval));
+        }
+    }
+
+    let is_key = ctx
+        .view
+        .get(set)
+        .expect("node partition is in the frozen view")
+        .is_key();
+
+    NodeEval {
+        ofds,
+        ocs,
+        is_key,
+        ofd_time,
+        oc_time,
+    }
+}
+
+/// The stop condition a worker must honour before claiming a node —
+/// checked in the same order as the sequential driver (cancellation
+/// first, then the wall clock).
+pub(crate) fn stop_check(ctx: &LevelCtx<'_>) -> Option<StopReason> {
+    if ctx.cancel.is_cancelled() {
+        return Some(StopReason::Cancelled);
+    }
+    if let Some(t) = ctx.timeout {
+        if ctx.start.elapsed() > t {
+            return Some(StopReason::TimedOut);
+        }
+    }
+    None
+}

@@ -31,9 +31,12 @@ pub struct LevelStats {
 pub struct DiscoveryStats {
     /// Total wall time.
     pub total: Duration,
-    /// Time inside OC validation (exact or approximate).
+    /// Time inside OC validation (exact or approximate). Summed across
+    /// workers, so in parallel runs (`threads_used > 1`) this is
+    /// aggregate CPU time and can exceed `total`.
     pub oc_validation: Duration,
-    /// Time inside OFD validation.
+    /// Time inside OFD validation (CPU-summed across workers, like
+    /// `oc_validation`).
     pub ofd_validation: Duration,
     /// Time computing partition products.
     pub partitioning: Duration,
@@ -45,6 +48,11 @@ pub struct DiscoveryStats {
     /// reason other than the timeout — a fired
     /// [`CancelToken`](crate::CancelToken) or a reached `top_k` target.
     pub stopped_early: bool,
+    /// Resolved worker-thread count the run used (`1` = the sequential
+    /// driver; `n > 1` = the per-level parallel validator with `n`
+    /// workers). Everything else in the stats except the `Duration`
+    /// phase timers is independent of this value.
+    pub threads_used: usize,
 }
 
 impl DiscoveryStats {
@@ -54,7 +62,10 @@ impl DiscoveryStats {
     pub fn is_partial(&self) -> bool {
         self.timed_out || self.stopped_early
     }
-    /// Share of total runtime spent validating OC candidates, in `[0, 1]`.
+    /// Share of total runtime spent validating OC candidates — within
+    /// `[0, 1]` for sequential runs; parallel runs divide CPU-summed
+    /// validation time by wall time, so the share can exceed 1 (that
+    /// excess is exactly the parallel speedup of the validation phase).
     pub fn oc_validation_share(&self) -> f64 {
         if self.total.is_zero() {
             return 0.0;

@@ -1,0 +1,423 @@
+//! # aod-exec — scoped work-stealing executor for level-wise discovery
+//!
+//! The level-wise lattice traversal validates every node of level `ℓ`
+//! independently given the cached level-`ℓ−1` partitions, so the paper's
+//! scalability walls (Figures 2–3) are embarrassingly parallel *within a
+//! level*. This crate provides the thread substrate for that: a
+//! dependency-free (`std::thread` only — the build environment has no
+//! crates.io access, so no rayon) scoped executor with
+//!
+//! * **work stealing** — items are dealt to per-worker deques up front;
+//!   a worker that drains its own deque steals the back half of the
+//!   fullest remaining one, so skewed per-item costs (one giant partition
+//!   class on one node) cannot idle the other cores;
+//! * **deterministic output** — [`Executor::par_map_indexed`] returns
+//!   results in **input order** regardless of which worker computed what,
+//!   which is what lets the discovery engine merge per-node results into a
+//!   bit-identical replay of the sequential run;
+//! * **panic propagation** — a panicking closure aborts the whole map and
+//!   the original payload is re-raised on the caller's thread (no wedged
+//!   workers, no swallowed assertion failures);
+//! * **per-worker state** — [`Executor::par_map_with_state`] threads one
+//!   owned state value (validator scratch, partition scratch) through each
+//!   worker, so hot-path buffers are reused across items without locking.
+//!
+//! Threads are spawned per call inside [`std::thread::scope`], which is
+//! what allows closures to borrow the caller's stack (tables, caches,
+//! pruning state) without `Arc`-wrapping the world; at level granularity
+//! the ~10 µs spawn cost is noise against milliseconds of validation.
+//!
+//! ```
+//! use aod_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let squares = exec.par_map_indexed(&[1u64, 2, 3, 4, 5], |_i, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width scoped executor.
+///
+/// Holds no threads while idle — each `par_map_*` call spawns its workers
+/// inside a [`std::thread::scope`] and joins them before returning, so the
+/// executor itself is trivially `Send + Sync` and free to store in
+/// long-lived sessions.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with `threads` workers. `0` resolves to
+    /// [`std::thread::available_parallelism`] (falling back to 1 when the
+    /// platform cannot report it).
+    pub fn new(threads: usize) -> Executor {
+        let threads = match threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        Executor { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order.
+    ///
+    /// # Panics
+    /// Re-raises the first panic any invocation of `f` produced.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let states: Vec<()> = vec![(); self.threads.max(1)];
+        self.par_map_with_state(states, items, |(), i, item| f(i, item))
+    }
+
+    /// Like [`par_map_indexed`](Executor::par_map_indexed), but each worker
+    /// owns one element of `states` (scratch buffers, forked validators)
+    /// for the duration of the map. `states` must provide at least one
+    /// state per worker; surplus states are unused.
+    ///
+    /// # Panics
+    /// If `states.len() < self.threads()`, or (re-raised) when an
+    /// invocation of `f` panics.
+    pub fn par_map_with_state<S, T, R, F>(&self, mut states: Vec<S>, items: &[T], f: F) -> Vec<R>
+    where
+        S: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        assert!(
+            states.len() >= self.threads.max(1),
+            "need one worker state per thread ({} < {})",
+            states.len(),
+            self.threads
+        );
+        // Never spawn more workers than items; a 1-worker map degenerates
+        // to the plain sequential loop (no queues, no slots).
+        let n_workers = self.threads.min(items.len()).max(1);
+        if n_workers == 1 {
+            let state = &mut states[0];
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(state, i, item))
+                .collect();
+        }
+        states.truncate(n_workers);
+
+        let queues: Vec<StealQueue> = deal(items.len(), n_workers);
+        let slots = Slots::new(items.len());
+        let abort = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Payload>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for (w, state) in states.drain(..).enumerate() {
+                let queues = &queues;
+                let slots = &slots;
+                let abort = &abort;
+                let panic_payload = &panic_payload;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = state;
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        worker_loop(w, queues, abort, |i| {
+                            let r = f(&mut state, i, &items[i]);
+                            // SAFETY: index `i` was claimed from exactly one
+                            // queue pop, so no other worker writes slot `i`,
+                            // and the caller only reads slots after `scope`
+                            // joined every worker.
+                            unsafe { slots.write(i, r) };
+                        });
+                    }));
+                    if let Err(payload) = result {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = panic_payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            resume_unwind(payload);
+        }
+        slots.into_vec()
+    }
+}
+
+impl Default for Executor {
+    /// One worker per available core (`Executor::new(0)`).
+    fn default() -> Executor {
+        Executor::new(0)
+    }
+}
+
+type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+/// One worker's claimable item indices. A `Mutex<VecDeque>` rather than a
+/// lock-free Chase–Lev deque: items here are whole lattice nodes
+/// (milliseconds of validation), so claim overhead is noise and the mutex
+/// keeps owner-pop vs. thief-steal races trivially correct.
+struct StealQueue {
+    deque: Mutex<VecDeque<usize>>,
+}
+
+impl StealQueue {
+    /// Owner and thieves alike claim from the front, one item at a time.
+    fn pop(&self) -> Option<usize> {
+        self.deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Steals the back half of this queue (at least one item when
+    /// non-empty), leaving the front for the owner.
+    fn steal_half(&self) -> VecDeque<usize> {
+        let mut deque = self.deque.lock().unwrap_or_else(|e| e.into_inner());
+        let keep = deque.len() / 2;
+        deque.split_off(keep)
+    }
+
+    /// Appends stolen items (the thief publishes them in its own deque, so
+    /// they stay stealable by third workers).
+    fn publish(&self, items: VecDeque<usize>) {
+        self.deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(items);
+    }
+
+    fn len(&self) -> usize {
+        self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Deals `0..n_items` to `n_workers` contiguous deques (block
+/// distribution, so neighbouring items — neighbouring lattice nodes, which
+/// tend to have similar partition sizes — start on the same worker).
+fn deal(n_items: usize, n_workers: usize) -> Vec<StealQueue> {
+    (0..n_workers)
+        .map(|w| {
+            let start = n_items * w / n_workers;
+            let end = n_items * (w + 1) / n_workers;
+            StealQueue {
+                deque: Mutex::new((start..end).collect()),
+            }
+        })
+        .collect()
+}
+
+/// Drains the worker's own deque, then steals from the fullest other
+/// deque until every deque is empty (claimed items may still be in flight
+/// on their claimers — that is fine, nothing is ever re-queued). Stolen
+/// batches are published back into the thief's own deque so third workers
+/// can re-steal them.
+fn worker_loop(own: usize, queues: &[StealQueue], abort: &AtomicBool, mut run: impl FnMut(usize)) {
+    loop {
+        if let Some(i) = queues[own].pop() {
+            if abort.load(Ordering::Relaxed) {
+                return;
+            }
+            run(i);
+            continue;
+        }
+        // Steal: pick the victim with the most remaining work.
+        let victim = (0..queues.len())
+            .filter(|&v| v != own)
+            .map(|v| (queues[v].len(), v))
+            .max();
+        match victim {
+            Some((len, v)) if len > 0 => queues[own].publish(queues[v].steal_half()),
+            _ => return, // every deque empty — all items claimed
+        }
+    }
+}
+
+/// Write-once result slots, indexed by item position.
+struct Slots<R> {
+    data: Vec<UnsafeCell<Option<R>>>,
+}
+
+// SAFETY: distinct workers only ever write *distinct* indices (each index
+// is claimed exactly once via a queue pop), and reads happen only after
+// all workers joined.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Slots<R> {
+        Slots {
+            data: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be claimed by exactly one worker, and no concurrent read.
+    unsafe fn write(&self, i: usize, value: R) {
+        *self.data[i].get() = Some(value);
+    }
+
+    fn into_vec(self) -> Vec<R> {
+        self.data
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .expect("every item index was claimed and computed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..997).collect();
+        let out = exec.par_map_indexed(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out.len(), 997);
+        assert!(out.iter().enumerate().all(|(i, &r)| r == i * 3));
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        let exec = Executor::new(0);
+        assert!(exec.threads() >= 1);
+        assert_eq!(Executor::default().threads(), exec.threads());
+        assert_eq!(Executor::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let exec = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.par_map_indexed(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let exec = Executor::new(3);
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..500).collect();
+        exec.par_map_indexed(&items, |_, &i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn per_worker_state_is_threaded_through() {
+        let exec = Executor::new(4);
+        let items: Vec<u64> = (0..256).collect();
+        // Each worker tags results with its own state; the tag must be a
+        // valid worker id and every result must carry one.
+        let states: Vec<Vec<u64>> = (0..4).map(|w| vec![w as u64]).collect();
+        let out = exec.par_map_with_state(states, &items, |state, _i, &x| {
+            state.push(x); // scratch mutation must be allowed
+            state[0]
+        });
+        assert!(out.iter().all(|&tag| tag < 4));
+    }
+
+    #[test]
+    fn stealing_covers_skewed_workloads() {
+        // Worker 0's block gets all the heavy items; the map still
+        // completes with every result present and ordered.
+        let exec = Executor::new(4);
+        let items: Vec<u64> = (0..64).map(|i| if i < 16 { 200_000 } else { 10 }).collect();
+        let out = exec.par_map_indexed(&items, |_, &spins| {
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            spins
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn steal_half_takes_the_back() {
+        let q = StealQueue {
+            deque: Mutex::new((0..5).collect()),
+        };
+        let stolen = q.steal_half();
+        assert_eq!(stolen, VecDeque::from(vec![2, 3, 4]));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        // Stealing a single remaining item empties the queue.
+        let q1 = StealQueue {
+            deque: Mutex::new(VecDeque::from(vec![9])),
+        };
+        assert_eq!(q1.steal_half(), VecDeque::from(vec![9]));
+        assert_eq!(q1.len(), 0);
+    }
+
+    #[test]
+    fn deal_is_a_block_distribution() {
+        let queues = deal(10, 3);
+        let blocks: Vec<Vec<usize>> = queues
+            .iter()
+            .map(|q| q.deque.lock().unwrap().iter().copied().collect())
+            .collect();
+        assert_eq!(blocks[0], vec![0, 1, 2]);
+        assert_eq!(blocks[1], vec![3, 4, 5]);
+        assert_eq!(blocks[2], vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.par_map_indexed(&items, |_, &x| {
+                if x == 13 {
+                    panic!("unlucky item");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must cross par_map_indexed");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload preserved");
+        assert_eq!(msg, "unlucky item");
+    }
+
+    #[test]
+    #[should_panic(expected = "one worker state per thread")]
+    fn too_few_states_is_a_caller_bug() {
+        let exec = Executor::new(4);
+        let _ = exec.par_map_with_state(vec![(); 2], &[1, 2, 3], |(), _, &x: &i32| x);
+    }
+}

@@ -31,6 +31,6 @@ pub use attrset::{
     AttrIter, AttrSet, AttrSetBuildHasher, AttrSetHasher, AttrSetMap, AttrSetSet, DisplayAttrSet,
     MAX_ATTRS,
 };
-pub use cache::PartitionCache;
+pub use cache::{FrozenPartitions, PartitionCache};
 pub use lattice::{prefix_join, JoinedChild};
 pub use stripped::{Partition, ProductScratch};

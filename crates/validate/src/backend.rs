@@ -29,6 +29,18 @@ use aod_partition::Partition;
 /// Implementations are stateful (they may keep scratch buffers across
 /// candidates — the discovery engine reuses one backend for the entire
 /// run) and must be [`Send`] so sessions can migrate across threads.
+///
+/// ## Threading contract
+///
+/// The parallel per-level validator does **not** share one backend across
+/// workers (that would serialise the hot path behind a lock). Instead it
+/// calls [`fork`](OcValidatorBackend::fork) once per worker thread at the
+/// start of each level and hands every worker its own instance. A fork
+/// must therefore behave *identically* to its parent on every
+/// `min_removal` call — same algorithm, same verdicts — but needs no
+/// shared mutable state: scratch buffers start empty and refill on first
+/// use. This is what keeps parallel discovery bit-identical to the
+/// sequential run.
 pub trait OcValidatorBackend: Send {
     /// A short stable identifier ("exact", "optimal", "iterative", …) for
     /// logs and experiment tables.
@@ -48,6 +60,13 @@ pub trait OcValidatorBackend: Send {
         b_ranks: &[u32],
         limit: usize,
     ) -> Option<usize>;
+
+    /// A fresh backend of the same kind for a parallel worker thread.
+    ///
+    /// Forks carry configuration but not scratch state, and must return
+    /// the same verdict as `self` for every candidate (see the trait-level
+    /// threading contract).
+    fn fork(&self) -> Box<dyn OcValidatorBackend>;
 }
 
 /// Exact validation: `Some(0)` iff no class contains a swap.
@@ -71,6 +90,10 @@ impl OcValidatorBackend for ExactOcBackend {
         self.validator
             .exact_oc_holds(ctx, a_ranks, b_ranks)
             .then_some(0)
+    }
+
+    fn fork(&self) -> Box<dyn OcValidatorBackend> {
+        Box::new(ExactOcBackend::default())
     }
 }
 
@@ -96,6 +119,10 @@ impl OcValidatorBackend for OptimalOcBackend {
         self.validator
             .min_removal_optimal(ctx, a_ranks, b_ranks, limit)
     }
+
+    fn fork(&self) -> Box<dyn OcValidatorBackend> {
+        Box::new(OptimalOcBackend::default())
+    }
 }
 
 /// **Algorithm 1** — the iterative PVLDB'17 baseline,
@@ -119,6 +146,10 @@ impl OcValidatorBackend for IterativeOcBackend {
     ) -> Option<usize> {
         self.validator
             .min_removal_iterative(ctx, a_ranks, b_ranks, limit)
+    }
+
+    fn fork(&self) -> Box<dyn OcValidatorBackend> {
+        Box::new(IterativeOcBackend::default())
     }
 }
 
@@ -180,6 +211,23 @@ mod tests {
             strategy_backend(AocStrategy::Iterative),
         ] {
             assert_eq!(backend.min_removal(&ctx, a, b, 3), None);
+        }
+    }
+
+    #[test]
+    fn forks_match_their_parents() {
+        let t = RankedTable::from_table(&employee_table());
+        let ctx = Partition::unit(9);
+        let (a, b) = (t.column(SAL).ranks(), t.column(TAX).ranks());
+        for parent in backends().iter_mut() {
+            let mut fork = parent.fork();
+            assert_eq!(fork.name(), parent.name());
+            for limit in [0, 3, usize::MAX] {
+                assert_eq!(
+                    fork.min_removal(&ctx, a, b, limit),
+                    parent.min_removal(&ctx, a, b, limit),
+                );
+            }
         }
     }
 

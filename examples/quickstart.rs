@@ -21,8 +21,14 @@ fn main() {
     // --- Approximate discovery at ε = 25%, streamed. --------------------
     // The session emits an event per found dependency and per completed
     // lattice level; long runs stay observable and cancellable.
+    // `.parallelism(0)` validates each lattice level on one worker per
+    // core — results (and this event stream) are bit-identical to the
+    // sequential run, so parallelism is purely a wall-clock knob.
     println!("=== approximate ODs (ε = 25%), streaming ===");
-    let mut session = DiscoveryBuilder::new().approximate(0.25).build(&ranked);
+    let mut session = DiscoveryBuilder::new()
+        .approximate(0.25)
+        .parallelism(0)
+        .build(&ranked);
     for event in session.by_ref() {
         match event {
             DiscoveryEvent::OcFound(dep) => println!("  found {}", dep.display(&names)),

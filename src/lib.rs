@@ -9,6 +9,7 @@
 //! | [`table`] | total-ordered values, columnar tables, CSV, rank encoding |
 //! | [`partition`] | attribute sets, stripped partitions, products, cache |
 //! | [`lis`] | LNDS/LIS (patience), inversion counting |
+//! | [`exec`] | work-stealing scoped thread pool for per-level parallelism |
 //! | [`validate`] | exact + approximate OC/OFD/OD validators (Algorithms 1 & 2) |
 //! | [`core`] | the set-based lattice discovery framework |
 //! | [`tane`] | TANE-style (approximate) FD discovery baseline |
@@ -60,6 +61,9 @@ pub use aod_partition as partition;
 
 /// Subsequence algorithms (re-export of `aod-lis`).
 pub use aod_lis as lis;
+
+/// Work-stealing scoped executor (re-export of `aod-exec`).
+pub use aod_exec as exec;
 
 /// Dependency validators (re-export of `aod-validate`).
 pub use aod_validate as validate;

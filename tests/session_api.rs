@@ -20,6 +20,22 @@ fn small_table() -> impl Strategy<Value = RankedTable> {
         .prop_map(|(a, b, c)| RankedTable::from_u32_columns(vec![a, b, c]))
 }
 
+/// Worker threads for the sessions under test. The CI parallel smoke job
+/// sets `AOD_TEST_THREADS=4` to re-run this whole suite against the
+/// work-stealing parallel driver — every assertion must keep passing
+/// unchanged, which is exactly the engine's determinism contract.
+fn test_threads() -> usize {
+    std::env::var("AOD_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A fresh builder at the suite's thread count.
+fn builder() -> DiscoveryBuilder {
+    DiscoveryBuilder::new().parallelism(test_threads())
+}
+
 fn configs() -> Vec<DiscoveryConfig> {
     let mut out = vec![DiscoveryConfig::exact()];
     for eps in [0.0, 0.1, 0.3] {
@@ -40,7 +56,9 @@ proptest! {
         for config in configs() {
             let one_shot = discover(&table, &config);
 
-            let mut session = DiscoveryBuilder::from_config(config.clone()).build(&table);
+            let mut session = DiscoveryBuilder::from_config(config.clone())
+                .parallelism(test_threads())
+                .build(&table);
             let mut streamed_ocs: Vec<OcDep> = Vec::new();
             let mut streamed_ofds: Vec<OfdDep> = Vec::new();
             let mut last_level = 0usize;
@@ -82,7 +100,7 @@ fn cancel_after_level_two_equals_max_level_two() {
         &DiscoveryConfig::approximate(0.15).with_max_level(2),
     );
 
-    let mut session = DiscoveryBuilder::new().approximate(0.15).build(&ranked);
+    let mut session = builder().approximate(0.15).build(&ranked);
     let token = session.cancel_token();
     let mut saw_cancelled_event = false;
     for event in session.by_ref() {
@@ -110,13 +128,10 @@ fn cancel_after_level_two_equals_max_level_two() {
 #[test]
 fn top_k_stops_early_with_flagged_prefix() {
     let ranked = RankedTable::from_table(&employee_table());
-    let full = DiscoveryBuilder::new().approximate(0.15).run(&ranked);
+    let full = builder().approximate(0.15).run(&ranked);
     assert!(full.n_ocs() > 3, "need enough OCs for the scenario");
 
-    let top = DiscoveryBuilder::new()
-        .approximate(0.15)
-        .top_k(3)
-        .build(&ranked);
+    let top = builder().approximate(0.15).top_k(3).build(&ranked);
     let result = top.run();
     assert_eq!(result.n_ocs(), 3);
     // Early exit serves a prefix of the full run's stream.
@@ -128,11 +143,8 @@ fn top_k_stops_early_with_flagged_prefix() {
 #[test]
 fn top_k_beyond_total_is_a_complete_run() {
     let ranked = RankedTable::from_table(&employee_table());
-    let full = DiscoveryBuilder::new().approximate(0.15).run(&ranked);
-    let generous = DiscoveryBuilder::new()
-        .approximate(0.15)
-        .top_k(10_000)
-        .run(&ranked);
+    let full = builder().approximate(0.15).run(&ranked);
+    let generous = builder().approximate(0.15).top_k(10_000).run(&ranked);
     assert_eq!(generous.ocs, full.ocs);
     assert!(!generous.is_partial());
 }
@@ -142,7 +154,7 @@ fn pre_cancelled_session_returns_empty_flagged_results() {
     let ranked = RankedTable::from_table(&employee_table());
     let token = CancelToken::new();
     token.cancel();
-    let session = DiscoveryBuilder::new()
+    let session = builder()
         .approximate(0.2)
         .cancel_token(token)
         .build(&ranked);
@@ -154,10 +166,7 @@ fn pre_cancelled_session_returns_empty_flagged_results() {
 #[test]
 fn step_reports_level_outcomes_in_order() {
     let ranked = RankedTable::from_table(&employee_table());
-    let mut session = DiscoveryBuilder::new()
-        .exact()
-        .record_events(false)
-        .build(&ranked);
+    let mut session = builder().exact().record_events(false).build(&ranked);
     let mut levels = Vec::new();
     while let Some(outcome) = session.step() {
         levels.push(outcome.level);
@@ -179,7 +188,7 @@ fn step_reports_level_outcomes_in_order() {
 #[test]
 fn partial_snapshots_are_well_formed_mid_run() {
     let ranked = RankedTable::from_table(&employee_table());
-    let mut session = DiscoveryBuilder::new().approximate(0.15).build(&ranked);
+    let mut session = builder().approximate(0.15).build(&ranked);
     session.step();
     session.step();
     let snapshot = session.result();
@@ -193,7 +202,7 @@ fn partial_snapshots_are_well_formed_mid_run() {
 #[test]
 fn pruned_events_report_rules() {
     let ranked = RankedTable::from_table(&employee_table());
-    let session = DiscoveryBuilder::new().approximate(0.15).build(&ranked);
+    let session = builder().approximate(0.15).build(&ranked);
     let mut rules = Vec::new();
     let mut n_pruned_events = 0usize;
     let mut session = session;
