@@ -165,15 +165,24 @@ pub struct ParallelSample {
 
 impl ParallelSample {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"dataset\":\"{}\",\"tuples\":{},\"cols\":{},\"epsilon\":{},\"threads\":{},\"wall_ms\":{:.3},\"n_ocs\":{}}}",
-            self.dataset, self.tuples, self.cols, self.epsilon, self.threads, self.wall_ms, self.n_ocs,
-        )
+        // The shared escape-correct writer (`aod_core::json`): a dataset
+        // name containing `"` or `\` stays valid JSON. `wall_ms` keeps its
+        // fixed 3-decimal formatting via the raw-field escape hatch.
+        let mut obj = aod_core::json::JsonObject::new();
+        obj.str("dataset", &self.dataset)
+            .num_u64("tuples", self.tuples as u64)
+            .num_u64("cols", self.cols as u64)
+            .num_f64("epsilon", self.epsilon)
+            .num_u64("threads", self.threads as u64)
+            .raw("wall_ms", &format!("{:.3}", self.wall_ms))
+            .num_u64("n_ocs", self.n_ocs as u64);
+        obj.finish()
     }
 }
 
-/// Serialises samples as a JSON array (hand-rolled — the offline
-/// dependency policy excludes serde, and the record is flat).
+/// Serialises samples as a JSON array (built on the shared
+/// `aod_core::json` writer — the offline dependency policy excludes serde,
+/// and the record is flat).
 pub fn parallel_json(samples: &[ParallelSample]) -> String {
     let rows: Vec<String> = samples
         .iter()
@@ -359,6 +368,28 @@ mod tests {
         assert_eq!(json.matches("\"dataset\":\"flight\"").count(), 2);
         // Exactly one comma between the two records: valid JSON by shape.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn parallel_json_escapes_hostile_dataset_names() {
+        // Regression: the old `format!` emitter wrote names containing `"`
+        // or `\` verbatim, producing unparseable output.
+        let samples = vec![ParallelSample {
+            dataset: "fli\"ght\\v2".into(),
+            tuples: 10,
+            cols: 2,
+            epsilon: 0.1,
+            threads: 1,
+            wall_ms: 1.0,
+            n_ocs: 0,
+        }];
+        let json = parallel_json(&samples);
+        let parsed = aod_core::json::JsonValue::parse(&json).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(
+            rows[0].get("dataset").unwrap().as_str(),
+            Some("fli\"ght\\v2")
+        );
     }
 
     #[test]

@@ -32,6 +32,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "rows",
     "seed",
     "out",
+    "port",
+    "bind",
+    "max-jobs",
 ];
 
 /// Parsed command line.
@@ -218,6 +221,37 @@ mod tests {
     fn empty_argv_is_help() {
         let a = Args::parse(&[]).unwrap();
         assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn serve_options_parse_with_the_same_strictness() {
+        let a = parse(&[
+            "serve",
+            "--port",
+            "8080",
+            "--bind",
+            "0.0.0.0",
+            "--threads",
+            "4",
+            "--max-jobs",
+            "2",
+        ]);
+        assert_eq!(a.int("port").unwrap(), Some(8080));
+        assert_eq!(a.value("bind"), Some("0.0.0.0"));
+        assert_eq!(a.int("max-jobs").unwrap(), Some(2));
+        // Value-swallowing stays an error for the new options too.
+        let argv: Vec<String> = ["serve", "--port", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("--port needs a value"), "{err}");
+        // And a mistyped serve option is an error, not a silent no-op.
+        let argv: Vec<String> = ["serve", "--prot", "8080"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(Args::parse(&argv).is_err());
     }
 
     #[test]

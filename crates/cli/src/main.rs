@@ -8,6 +8,9 @@
 //!   OC/OD candidate and print its approximation factor and removal set.
 //! * `aod generate <flight|ncvoter|employee> --rows N [--out f.csv]` —
 //!   materialise a synthetic dataset.
+//! * `aod serve [file.csv ...] --port P` — run the resident HTTP discovery
+//!   service (`aod-serve`): dataset registry, background jobs, streaming
+//!   NDJSON events, result cache.
 //!
 //! Argument parsing is hand-rolled (the offline dependency policy excludes
 //! `clap`); see [`Args`].
@@ -39,6 +42,8 @@ USAGE:
                [--od] [--iterative] [--show-removals] [--no-header]
   aod generate <flight|ncvoter|employee> [--rows N] [--seed S] [--out FILE]
   aod outliers <file.csv> [--epsilon E] [--top K] [--no-header]
+  aod serve [file.csv ...] [--port P] [--bind ADDR] [--threads N]
+            [--max-jobs M]
 
 OPTIONS:
   --epsilon E       approximation threshold in [0,1] (default 0.1)
@@ -61,6 +66,10 @@ OPTIONS:
   --seed S          RNG seed (default 42)
   --out FILE        output CSV path (default stdout summary only)
   --no-header       input CSV has no header row
+  --port P          serve: TCP port to listen on (default 7171)
+  --bind ADDR       serve: interface to bind (default 127.0.0.1)
+  --max-jobs M      serve: max concurrently running jobs (default 4)
+                    (for serve, --threads N sets accept workers; 0 = cores)
 ";
 
 fn main() -> ExitCode {
@@ -83,6 +92,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "validate" => cmd_validate(&args),
         "generate" => cmd_generate(&args),
         "outliers" => cmd_outliers(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -317,6 +327,53 @@ fn cmd_outliers(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `aod serve`: run the resident HTTP discovery service. Positional CSV
+/// paths are pre-registered as datasets (named by file stem); everything
+/// else is registered over the API. Blocks until `POST /shutdown`.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let port = args.int("port")?.unwrap_or(7171);
+    let port =
+        u16::try_from(port).map_err(|_| format!("--port: `{port}` is not a valid TCP port"))?;
+    let bind = args.value("bind").unwrap_or("127.0.0.1").to_string();
+    let threads = args.int("threads")?.unwrap_or(2);
+    let max_jobs = args.int("max-jobs")?.unwrap_or(4);
+    if max_jobs == 0 {
+        return Err("--max-jobs must be at least 1".to_string());
+    }
+    let config = aod_serve::ServeConfig {
+        bind,
+        port,
+        threads,
+        max_jobs,
+    };
+    let server = aod_serve::Server::bind(&config)
+        .map_err(|e| format!("binding {}:{}: {e}", config.bind, config.port))?;
+    for path in &args.positional {
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a dataset name from `{path}`"))?
+            .to_string();
+        server
+            .register_csv(&name, path)
+            .map_err(|e| format!("registering `{path}`: {e}"))?;
+        eprintln!("registered dataset `{name}` from {path}");
+    }
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if !addr.ip().is_loopback() {
+        eprintln!(
+            "warning: binding {addr} exposes an UNAUTHENTICATED API: any client \
+             can register server-side CSV paths, run jobs, and POST /shutdown. \
+             Keep non-loopback binds behind a trusted network or proxy."
+        );
+    }
+    eprintln!(
+        "aod-serve listening on http://{addr} (max {max_jobs} concurrent jobs; \
+         POST /shutdown to stop)"
+    );
+    server.run().map_err(|e| e.to_string())
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {

@@ -62,11 +62,13 @@ mod dep;
 mod discover;
 pub mod engine;
 mod frontier;
+pub mod json;
 mod parallel;
 mod prune_state;
 mod repair;
 mod result;
 mod stats;
+pub mod wire;
 
 pub use builder::DiscoveryBuilder;
 pub use canonical::{canonicalize, check_list_od, CanonicalDep};
@@ -78,6 +80,7 @@ pub use prune_state::PruneRule;
 pub use repair::{cleaning_candidates, outlier_report, OutlierReport};
 pub use result::DiscoveryResult;
 pub use stats::{DiscoveryStats, LevelStats};
+pub use wire::SCHEMA_VERSION;
 
 // Re-exports so callers can configure runs and inspect lattices with one import.
 pub use aod_exec::Executor;

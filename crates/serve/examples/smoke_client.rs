@@ -1,0 +1,97 @@
+//! Loopback smoke driver for a running `aod serve` instance — the CI
+//! `serve-smoke` job's client half.
+//!
+//! Usage: `cargo run -p aod-serve --example smoke_client -- 127.0.0.1:7171`
+//!
+//! Connects (retrying while the server starts), registers a generated
+//! dataset, runs one discovery job end to end (submit → stream events →
+//! fetch result), re-submits it to prove the cache answers, then posts
+//! `/shutdown` so the server process can be `wait`ed on for a clean exit.
+
+use aod_serve::client::{request, EventStream};
+use aod_serve::json::JsonValue;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let addr: SocketAddr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string())
+        .parse()
+        .expect("usage: smoke_client <host:port>");
+
+    // The server may still be binding; retry for up to 30 s.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match request(addr, "GET", "/health", None) {
+            Ok(r) if r.status == 200 => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(200)),
+            Ok(r) => panic!("health check returned {}", r.status),
+            Err(e) => panic!("server never became healthy: {e}"),
+        }
+    }
+    println!("health: ok");
+
+    let reg = request(
+        addr,
+        "POST",
+        "/datasets",
+        Some(r#"{"name":"smoke","generate":{"dataset":"flight","rows":2000,"seed":42}}"#),
+    )
+    .expect("register dataset");
+    assert_eq!(reg.status, 201, "register: {}", reg.body);
+    println!("registered: {}", reg.body);
+
+    const JOB: &str = r#"{"dataset":"smoke","config":{"epsilon":0.1,"max_level":4,"columns":["year","month","dayOfWeek","flightNum","originAirport","arrDelay","lateAircraftDelay","distance"]}}"#;
+    let submit = request(addr, "POST", "/jobs", Some(JOB)).expect("submit job");
+    assert_eq!(submit.status, 201, "submit: {}", submit.body);
+    let id = submit
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .expect("job id");
+
+    let mut stream =
+        EventStream::open(addr, &format!("/jobs/{id}/events")).expect("open event stream");
+    let lines = stream.collect_lines().expect("read event stream");
+    assert!(!lines.is_empty(), "event stream was empty");
+    for line in &lines {
+        JsonValue::parse(line).expect("event line parses");
+    }
+    println!("streamed {} events", lines.len());
+
+    let result = request(addr, "GET", &format!("/jobs/{id}/result"), None).expect("fetch result");
+    assert_eq!(result.status, 200, "result: {}", result.body);
+    let parsed = result.json().expect("result parses");
+    let n_ocs = parsed.get("ocs").unwrap().as_array().unwrap().len();
+    let n_ofds = parsed.get("ofds").unwrap().as_array().unwrap().len();
+    assert!(n_ocs + n_ofds > 0, "job found nothing");
+    println!("result: {n_ocs} OCs, {n_ofds} OFDs");
+
+    // Identical resubmission must be answered from the result cache.
+    let again = request(addr, "POST", "/jobs", Some(JOB)).expect("resubmit job");
+    assert_eq!(again.status, 201);
+    assert_eq!(
+        again
+            .json()
+            .unwrap()
+            .get("cached")
+            .and_then(JsonValue::as_bool),
+        Some(true),
+        "resubmission was not served from cache: {}",
+        again.body
+    );
+    let stats = request(addr, "GET", "/stats", None).expect("stats");
+    println!("stats: {}", stats.body);
+    let stats = stats.json().unwrap();
+    assert_eq!(
+        stats.get("jobs_executed").and_then(JsonValue::as_u64),
+        Some(1),
+        "cache hit must not re-execute"
+    );
+
+    let bye = request(addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(bye.status, 202);
+    println!("smoke ok");
+}

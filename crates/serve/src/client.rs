@@ -1,0 +1,299 @@
+//! A minimal blocking HTTP client on raw [`std::net::TcpStream`]s.
+//!
+//! Exists so the end-to-end tests, the CI smoke driver and the curl-less
+//! can talk to [`crate::Server`] without external tooling. One request per
+//! connection (mirroring the server's `Connection: close` model), plus an
+//! incremental [`EventStream`] reader that decodes
+//! `Transfer-Encoding: chunked` NDJSON line by line — required by the
+//! cancel-mid-run flow, where the client must act on an early event while
+//! the stream is still open.
+
+use crate::http::status_text;
+use aod_core::json::{JsonError, JsonValue};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A complete buffered HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, chunked transfer coding already decoded.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<JsonValue, JsonError> {
+        JsonValue::parse(&self.body)
+    }
+}
+
+/// Sends one request and reads the full response (blocking).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    send_request(&mut stream, addr, method, path, body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let payload = &raw[head_end + 4..];
+    let body_bytes = if chunked {
+        decode_chunked(payload)?
+    } else {
+        payload.to_vec()
+    };
+    let body = String::from_utf8(body_bytes).map_err(|_| bad("response body not UTF-8"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn decode_chunked(mut payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = payload
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("truncated chunk size line"))?;
+        let size_text = std::str::from_utf8(&payload[..line_end])
+            .map_err(|_| bad("chunk size not UTF-8"))?
+            .trim();
+        let size = usize::from_str_radix(size_text, 16).map_err(|_| bad("invalid chunk size"))?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if payload.len() < size + 2 {
+            return Err(bad("truncated chunk data"));
+        }
+        out.extend_from_slice(&payload[..size]);
+        payload = &payload[size + 2..];
+    }
+}
+
+/// An open streaming NDJSON response, decoded incrementally.
+///
+/// Yields one JSON line at a time as the server emits it, so callers can
+/// react to early events (e.g. cancel a job after its first
+/// `level_complete`) while the stream is still live.
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    /// Bytes of the current chunk still to be consumed.
+    remaining: usize,
+    /// Decoded bytes not yet emitted as a complete line.
+    line_buf: Vec<u8>,
+    done: bool,
+}
+
+impl EventStream {
+    /// Sends `GET path` and parses the response head; fails unless the
+    /// server answers 200 with a chunked body.
+    pub fn open(addr: SocketAddr, path: &str) -> std::io::Result<EventStream> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        send_request(&mut stream, addr, "GET", path, None)?;
+        let mut reader = BufReader::new(stream);
+        // Read the head line by line (BufReader keeps any body prefix).
+        let mut status = 0u16;
+        let mut chunked = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed in response head"));
+            }
+            let line = line.trim_end();
+            if status == 0 {
+                status = line
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("malformed status line"))?;
+            } else if line.is_empty() {
+                break;
+            } else if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("transfer-encoding")
+                    && value.trim().eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+        }
+        if status != 200 {
+            return Err(std::io::Error::other(format!(
+                "event stream returned {status} {}",
+                status_text(status)
+            )));
+        }
+        if !chunked {
+            return Err(bad("event stream response is not chunked"));
+        }
+        Ok(EventStream {
+            reader,
+            remaining: 0,
+            line_buf: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// The next NDJSON line (without its terminator), or `None` once the
+    /// stream has ended.
+    pub fn next_line(&mut self) -> std::io::Result<Option<String>> {
+        loop {
+            // Emit a buffered complete line first.
+            if let Some(pos) = self.line_buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.line_buf.drain(..=pos).collect();
+                let text = String::from_utf8(line).map_err(|_| bad("event line not UTF-8"))?;
+                return Ok(Some(text.trim_end().to_string()));
+            }
+            if self.done {
+                if self.line_buf.is_empty() {
+                    return Ok(None);
+                }
+                let text = String::from_utf8(std::mem::take(&mut self.line_buf))
+                    .map_err(|_| bad("event line not UTF-8"))?;
+                return Ok(Some(text.trim_end().to_string()));
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Drains the rest of the stream into a vector of lines.
+    pub fn collect_lines(&mut self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        while let Some(line) = self.next_line()? {
+            out.push(line);
+        }
+        Ok(out)
+    }
+
+    /// Reads the next piece of chunk data into `line_buf`.
+    fn fill(&mut self) -> std::io::Result<()> {
+        if self.remaining == 0 {
+            // At a chunk boundary: read the size line.
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("invalid chunk size"))?;
+            if size == 0 {
+                // Consume the trailing CRLF; stream is over.
+                let mut crlf = String::new();
+                let _ = self.reader.read_line(&mut crlf)?;
+                self.done = true;
+                return Ok(());
+            }
+            self.remaining = size;
+        }
+        let mut take = vec![0u8; self.remaining.min(4096)];
+        let n = self.reader.read(&mut take)?;
+        if n == 0 {
+            self.done = true;
+            return Ok(());
+        }
+        self.line_buf.extend_from_slice(&take[..n]);
+        self.remaining -= n;
+        if self.remaining == 0 {
+            // Consume the CRLF after the chunk data.
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_chunked_payloads() {
+        let body = decode_chunked(b"4\r\nabcd\r\na\r\n0123456789\r\n0\r\n\r\n").unwrap();
+        assert_eq!(body, b"abcd0123456789");
+        assert!(decode_chunked(b"zz\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nab").is_err());
+    }
+
+    #[test]
+    fn parses_responses() {
+        let raw =
+            b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert_eq!(r.body, "{}");
+        assert!(r.json().is_ok());
+    }
+
+    #[test]
+    fn parses_chunked_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.body, "abc");
+    }
+}

@@ -165,6 +165,35 @@ impl RankedTable {
         let k = n.min(self.n_rows);
         RankedTable::from_u32_columns(self.columns.iter().map(|c| c.ranks[..k].to_vec()).collect())
     }
+
+    /// A content fingerprint of the encoded relation: 64-bit FNV-1a over
+    /// the dimensions and every rank, column by column. Order-isomorphic
+    /// tables (same relative order cell for cell — the equivalence
+    /// discovery results depend on) always share a fingerprint; distinct
+    /// tables can collide, as with any 64-bit non-cryptographic hash, so
+    /// use it to *detect* "probably the same discovery input", scoped
+    /// under an identity key (e.g. a dataset name) wherever a collision
+    /// must not substitute one table's results for another's.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.n_rows as u64);
+        eat(self.columns.len() as u64);
+        for col in &self.columns {
+            eat(u64::from(col.n_distinct));
+            for &r in &col.ranks {
+                eat(u64::from(r));
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +293,22 @@ mod tests {
         let r = RankedTable::from_u32_columns(vec![vec![]]);
         assert_eq!(r.n_rows(), 0);
         assert_eq!(r.column(0).n_distinct(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let a = RankedTable::from_u32_columns(vec![vec![1, 2, 3], vec![3, 2, 1]]);
+        // Order-isomorphic (raw values differ, ranks agree): same fingerprint.
+        let b = RankedTable::from_u32_columns(vec![vec![10, 20, 30], vec![9, 8, 7]]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any cell order flip changes it.
+        let c = RankedTable::from_u32_columns(vec![vec![1, 3, 2], vec![3, 2, 1]]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Shape changes change it, including column order.
+        assert_ne!(a.fingerprint(), a.with_first_columns(1).fingerprint());
+        let swapped = RankedTable::from_u32_columns(vec![vec![3, 2, 1], vec![1, 2, 3]]);
+        assert_ne!(a.fingerprint(), swapped.fingerprint());
+        // Deterministic across calls.
+        assert_eq!(a.fingerprint(), a.fingerprint());
     }
 }

@@ -14,6 +14,7 @@
 //! | [`core`] | the set-based lattice discovery framework |
 //! | [`tane`] | TANE-style (approximate) FD discovery baseline |
 //! | [`datagen`] | synthetic `flight`/`ncvoter`-shaped workloads |
+//! | [`serve`] | HTTP discovery service: registry, jobs, NDJSON events, cache |
 //!
 //! ## Quickstart
 //!
@@ -76,6 +77,9 @@ pub use aod_tane as tane;
 
 /// Synthetic dataset generators (re-export of `aod-datagen`).
 pub use aod_datagen as datagen;
+
+/// HTTP discovery service (re-export of `aod-serve`).
+pub use aod_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
