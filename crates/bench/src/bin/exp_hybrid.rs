@@ -1,0 +1,169 @@
+//! Hybrid-sampling sweep — the paper's future-work direction ("new
+//! approaches for discovering approximate OCs, such as hybrid sampling")
+//! measured against the optimal baseline on dirty data, with
+//! machine-readable output tracked across PRs.
+//!
+//! Generates a flight-shaped table, injects the paper's Table-1 style dirt
+//! (concatenated zeros + transposition noise) so that plenty of OC
+//! candidates are invalid-but-expensive, then runs discovery at
+//! ε ∈ {0.01, 0.05, 0.1} with the optimal validator and with the hybrid
+//! validator at stride ∈ {4, 8, 16}. Every hybrid run's dependency lists
+//! are asserted **identical** to the optimal baseline's (the pre-check is
+//! sound, so a divergence is a correctness bug, not a perf observation);
+//! wall times and sampling hit/miss counters go to `BENCH_hybrid.json`.
+//!
+//! Usage: `cargo run --release -p aod-bench --bin exp_hybrid
+//!         [--rows 20000] [--cols 8] [--dirt 0.2] [--seed 42]
+//!         [--out BENCH_hybrid.json]`
+
+use aod_bench::{print_table, write_hybrid_json, ExpArgs, HybridSample};
+use aod_core::{AocStrategy, DiscoveryBuilder, DiscoveryResult};
+use aod_datagen::dirty::{inject_concatenated_zero, inject_transpositions};
+use aod_datagen::flight;
+use aod_table::RankedTable;
+
+const EPSILONS: [f64; 3] = [0.01, 0.05, 0.1];
+const STRIDES: [usize; 3] = [4, 8, 16];
+
+fn run(table: &RankedTable, epsilon: f64, strategy: AocStrategy) -> (DiscoveryResult, f64) {
+    let result = DiscoveryBuilder::new()
+        .approximate(epsilon)
+        .strategy(strategy)
+        .run(table);
+    let wall_ms = result.stats.total.as_secs_f64() * 1e3;
+    (result, wall_ms)
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let rows = args.usize("rows", 20_000);
+    let cols = args.usize("cols", 8);
+    let dirt = args.f64("dirt", 0.2).clamp(0.0, 1.0);
+    let seed = args.usize("seed", 42) as u64;
+    let out = args.string("out", "BENCH_hybrid.json");
+
+    println!(
+        "# Hybrid sampling vs optimal: dirty flight, {rows} tuples x {cols} attrs, \
+         dirt rate {dirt}\n"
+    );
+
+    // Dirty workload: transposition noise on most payload columns (every
+    // swap-inducing error makes OC candidates dirty) plus the paper's
+    // concatenated-zero error on a numeric one.
+    let mut table = flight::flight(seed).table(rows);
+    for c in 1..cols.min(table.n_cols()) {
+        inject_transpositions(&mut table, c, dirt, seed ^ (c as u64).wrapping_mul(0x9e37));
+    }
+    inject_concatenated_zero(&mut table, 1, dirt / 2.0, seed ^ 0xbeef);
+    let ranked = RankedTable::from_table(&table).with_first_columns(cols);
+
+    let mut samples: Vec<HybridSample> = Vec::new();
+    let mut rows_out = Vec::new();
+    let mut best_speedup = 0.0f64;
+    let mut best_label = String::new();
+    for epsilon in EPSILONS {
+        let (base, base_ms) = run(&ranked, epsilon, AocStrategy::Optimal);
+        samples.push(HybridSample {
+            dataset: "flight-dirty".into(),
+            tuples: rows,
+            cols,
+            epsilon,
+            strategy: "optimal".into(),
+            stride: None,
+            wall_ms: base_ms,
+            n_ocs: base.n_ocs(),
+            sample_hits: 0,
+            sample_misses: 0,
+        });
+        rows_out.push(vec![
+            format!("{epsilon}"),
+            "optimal".into(),
+            "-".into(),
+            format!("{base_ms:.1}"),
+            "1.00x".into(),
+            base.n_ocs().to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        for stride in STRIDES {
+            let (result, wall_ms) = run(&ranked, epsilon, AocStrategy::Hybrid { stride });
+            // Bit-identical dependency lists, not just counts: the
+            // pre-check is reject-only and sound.
+            if result.ocs != base.ocs || result.ofds != base.ofds {
+                eprintln!(
+                    "error: hybrid(stride {stride}) diverged from optimal at eps {epsilon}: \
+                     {} vs {} OCs, {} vs {} OFDs",
+                    result.n_ocs(),
+                    base.n_ocs(),
+                    result.n_ofds(),
+                    base.n_ofds(),
+                );
+                std::process::exit(1);
+            }
+            let speedup = base_ms / wall_ms.max(1e-9);
+            if speedup > best_speedup {
+                best_speedup = speedup;
+                best_label = format!("eps {epsilon}, stride {stride}");
+            }
+            let (hits, misses) = (result.stats.n_sample_hits(), result.stats.n_sample_misses());
+            samples.push(HybridSample {
+                dataset: "flight-dirty".into(),
+                tuples: rows,
+                cols,
+                epsilon,
+                strategy: "hybrid".into(),
+                stride: Some(stride),
+                wall_ms,
+                n_ocs: result.n_ocs(),
+                sample_hits: hits,
+                sample_misses: misses,
+            });
+            rows_out.push(vec![
+                format!("{epsilon}"),
+                "hybrid".into(),
+                stride.to_string(),
+                format!("{wall_ms:.1}"),
+                format!("{speedup:.2}x"),
+                result.n_ocs().to_string(),
+                hits.to_string(),
+                misses.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "epsilon",
+            "strategy",
+            "stride",
+            "wall (ms)",
+            "speedup",
+            "#AOCs",
+            "hits",
+            "misses",
+        ],
+        &rows_out,
+    );
+    println!(
+        "\n(equivalence check passed: every hybrid run reproduced the optimal \
+         dependency lists bit for bit; best speedup {best_speedup:.2}x at {best_label})"
+    );
+
+    if let Err(e) = write_hybrid_json(&out, &samples) {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    // Self-check: the emitted file must parse with the shared JSON parser
+    // (the same one CI and downstream tooling use).
+    let text = std::fs::read_to_string(&out).expect("just wrote it");
+    match aod_core::json::JsonValue::parse(&text) {
+        Ok(v) => {
+            let n = v.as_array().map_or(0, <[_]>::len);
+            assert_eq!(n, samples.len(), "emitted JSON lost samples");
+            println!("wrote {n} samples to {out} (parse check passed)");
+        }
+        Err(e) => {
+            eprintln!("error: {out} does not parse with aod_core::json: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}

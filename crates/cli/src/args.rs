@@ -21,6 +21,8 @@ const BOOL_FLAGS: &[&str] = &[
 /// Options that always take a value.
 const VALUE_OPTIONS: &[&str] = &[
     "epsilon",
+    "strategy",
+    "sample-stride",
     "max-level",
     "timeout",
     "top",
@@ -252,6 +254,27 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn strategy_options_parse_strictly() {
+        let a = parse(&[
+            "discover",
+            "f.csv",
+            "--strategy",
+            "hybrid",
+            "--sample-stride",
+            "16",
+        ]);
+        assert_eq!(a.value("strategy"), Some("hybrid"));
+        assert_eq!(a.int("sample-stride").unwrap(), Some(16));
+        // Value-swallowing stays an error for the new options.
+        let argv: Vec<String> = ["discover", "--strategy", "--progress", "f.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("--strategy needs a value"), "{err}");
     }
 
     #[test]

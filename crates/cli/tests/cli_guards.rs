@@ -1,0 +1,153 @@
+//! Boundary regression tests for the `aod` binary: bad `--epsilon` and
+//! bad `--strategy`/`--sample-stride` spellings must exit with a clean
+//! usage error (never a panic/abort), and the hybrid strategy must run end
+//! to end from the command line.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+fn aod(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_aod"))
+        .args(args)
+        .output()
+        .expect("spawn aod")
+}
+
+/// A small CSV on disk shared by the tests (generated once via the
+/// binary's own `generate` subcommand).
+fn sample_csv() -> &'static str {
+    static CSV: OnceLock<PathBuf> = OnceLock::new();
+    CSV.get_or_init(|| {
+        let path = std::env::temp_dir().join(format!("aod_cli_guards_{}.csv", std::process::id()));
+        let out = aod(&[
+            "generate",
+            "flight",
+            "--rows",
+            "200",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "generate failed: {out:?}");
+        path
+    })
+    .to_str()
+    .unwrap()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn epsilon_out_of_range_is_a_clean_error_not_a_panic() {
+    for bad in ["1.5", "-0.2", "NaN", "inf"] {
+        let out = aod(&["discover", sample_csv(), "--epsilon", bad]);
+        assert!(!out.status.success(), "--epsilon {bad} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("not within [0, 1]"),
+            "--epsilon {bad}: expected a range error, got: {err}"
+        );
+        assert!(!err.contains("panicked"), "--epsilon {bad} panicked: {err}");
+    }
+}
+
+#[test]
+fn unknown_strategy_and_bad_stride_are_usage_errors() {
+    let out = aod(&["discover", sample_csv(), "--strategy", "sorta"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown strategy"),
+        "{:?}",
+        stderr(&out)
+    );
+
+    let out = aod(&[
+        "discover",
+        sample_csv(),
+        "--strategy",
+        "hybrid",
+        "--sample-stride",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("must be at least 1"),
+        "{:?}",
+        stderr(&out)
+    );
+
+    // A stride without the hybrid strategy is meaningless.
+    let out = aod(&["discover", sample_csv(), "--sample-stride", "4"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("only applies with the hybrid strategy"),
+        "{:?}",
+        stderr(&out)
+    );
+
+    // So is combining the legacy flag with a contradicting strategy.
+    let out = aod(&[
+        "discover",
+        sample_csv(),
+        "--iterative",
+        "--strategy",
+        "hybrid",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("conflicts"), "{:?}", stderr(&out));
+
+    // And exact mode rejects strategy options instead of silently
+    // ignoring them (parity with the HTTP boundary's 400).
+    for extra in [
+        &["--exact", "--strategy", "hybrid"][..],
+        &["--exact", "--sample-stride", "8"][..],
+    ] {
+        let out = aod(&[&["discover", sample_csv()], extra].concat());
+        assert!(!out.status.success(), "{extra:?} must fail");
+        assert!(
+            stderr(&out).contains("meaningless with --exact"),
+            "{extra:?}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn hybrid_strategy_runs_and_matches_optimal_from_the_cli() {
+    // Scope to a handful of columns so the debug-profile run stays fast;
+    // the strategies' full-width equivalence is covered by the release
+    // suites (`tests/hybrid_equivalence.rs`).
+    const SCOPE: &[&str] = &["--columns", "year,month,dayOfWeek,flightNum,arrDelay"];
+    let optimal = aod(&[&["discover", sample_csv(), "--epsilon", "0.1"], SCOPE].concat());
+    assert!(optimal.status.success(), "{optimal:?}");
+    let hybrid = aod(&[
+        &[
+            "discover",
+            sample_csv(),
+            "--epsilon",
+            "0.1",
+            "--strategy",
+            "hybrid",
+            "--sample-stride",
+            "8",
+        ],
+        SCOPE,
+    ]
+    .concat());
+    assert!(hybrid.status.success(), "{hybrid:?}");
+    let out = String::from_utf8_lossy(&hybrid.stdout).into_owned();
+    assert!(out.contains("sampling pre-check:"), "{out}");
+
+    // The dependency listings are identical (the hybrid pre-check is
+    // sound); only the extra sampling summary line differs.
+    let deps = |raw: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(deps(&optimal.stdout), deps(&hybrid.stdout));
+}

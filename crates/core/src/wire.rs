@@ -21,7 +21,7 @@
 //! |------|--------|
 //! | [`OcDep`] | `context`, `a`, `b`, `removed`, `factor`, `level`, `coverage` |
 //! | [`OfdDep`] | `context`, `rhs`, `removed`, `factor`, `level`, `coverage` |
-//! | [`LevelStats`] | `level`, `n_nodes`, `n_oc_candidates`, `n_oc_pruned`, `n_oc_found`, `n_ofd_candidates`, `n_ofd_found` |
+//! | [`LevelStats`] | `level`, `n_nodes`, `n_oc_candidates`, `n_oc_pruned`, `n_oc_found`, `n_ofd_candidates`, `n_ofd_found`, `n_sample_hits`, `n_sample_misses` |
 //! | [`DiscoveryStats`] | `total_ms`, `oc_validation_ms`, `ofd_validation_ms`, `partitioning_ms`, `timed_out`, `stopped_early`, `threads_used`, `per_level` |
 //! | [`DiscoveryResult`] | `schema_version`, `n_rows`, `n_attrs`, `ocs`, `ofds`, `stats` |
 //! | [`DiscoveryEvent`] | `event` tag + per-variant payload (see [`DiscoveryEvent::to_json`]) |
@@ -122,7 +122,9 @@ impl LevelStats {
             .num_u64("n_oc_pruned", self.n_oc_pruned as u64)
             .num_u64("n_oc_found", self.n_oc_found as u64)
             .num_u64("n_ofd_candidates", self.n_ofd_candidates as u64)
-            .num_u64("n_ofd_found", self.n_ofd_found as u64);
+            .num_u64("n_ofd_found", self.n_ofd_found as u64)
+            .num_u64("n_sample_hits", self.n_sample_hits as u64)
+            .num_u64("n_sample_misses", self.n_sample_misses as u64);
         obj.finish()
     }
 }

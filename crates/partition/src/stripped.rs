@@ -32,7 +32,18 @@ pub struct Partition {
 impl Partition {
     /// The partition of the empty attribute set: one class holding all rows
     /// (stripped away when the relation has fewer than two rows).
+    ///
+    /// # Panics
+    /// If `n_rows` exceeds [`aod_table::MAX_ROWS`] — row ids are `u32`
+    /// (with `u32::MAX` reserved as the probe sentinel), so a larger
+    /// relation would silently wrap ids. Table construction rejects such
+    /// inputs with an error first; this guard is defence in depth for
+    /// direct partition construction.
     pub fn unit(n_rows: usize) -> Partition {
+        assert!(
+            aod_table::check_row_count(n_rows).is_ok(),
+            "{n_rows} rows exceed MAX_ROWS; u32 row ids would wrap"
+        );
         if n_rows < 2 {
             return Partition {
                 elems: Vec::new(),
@@ -55,8 +66,16 @@ impl Partition {
 
     /// Builds a partition grouping rows with equal `ranks` values
     /// (values must be dense in `0..n_distinct`).
+    ///
+    /// # Panics
+    /// If `ranks` names more rows than [`aod_table::MAX_ROWS`] (see
+    /// [`Partition::unit`]).
     pub fn from_ranks(ranks: &[u32], n_distinct: u32) -> Partition {
         let n = ranks.len();
+        assert!(
+            aod_table::check_row_count(n).is_ok(),
+            "{n} rows exceed MAX_ROWS; u32 row ids would wrap"
+        );
         let k = n_distinct as usize;
         let mut counts = vec![0u32; k + 1];
         for &r in ranks {
@@ -128,6 +147,15 @@ impl Partition {
             bounds,
             n_rows,
         }
+    }
+
+    /// Decomposes the partition into its raw CSR parts
+    /// `(elems, bounds, n_rows)` — the inverse of
+    /// [`Partition::from_parts`], letting scratch-reusing callers (e.g.
+    /// the sampling pre-check in `aod-validate`) recover their buffers
+    /// instead of reallocating per candidate.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>, usize) {
+        (self.elems, self.bounds, self.n_rows)
     }
 
     /// Number of (non-singleton) classes.
@@ -467,6 +495,22 @@ mod tests {
         for class in p.classes() {
             assert!(class.windows(2).all(|w| w[0] < w[1]), "{class:?}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 row ids would wrap")]
+    fn unit_rejects_relations_beyond_u32_row_ids() {
+        // The guard fires before any allocation, so the oversized count is
+        // safe to pass in a test.
+        let _ = Partition::unit(aod_table::MAX_ROWS + 1);
+    }
+
+    #[test]
+    fn unit_accepts_up_to_max_rows_boundary_check() {
+        // The check itself (not the allocation) is the contract: MAX_ROWS
+        // passes, MAX_ROWS + 1 errors.
+        assert!(aod_table::check_row_count(aod_table::MAX_ROWS).is_ok());
+        assert!(aod_table::check_row_count(aod_table::MAX_ROWS + 1).is_err());
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub enum TableError {
         /// Rows expected.
         expected: usize,
     },
+    /// The table has more rows than the `u32` row-id space supports.
+    TooManyRows {
+        /// Rows found.
+        found: usize,
+        /// The maximum supported row count ([`crate::MAX_ROWS`]).
+        max: usize,
+    },
     /// A named column does not exist.
     UnknownColumn(String),
     /// A column index is out of range.
@@ -58,6 +65,12 @@ impl fmt::Display for TableError {
                 expected,
             } => {
                 write!(f, "column `{column}` has {found} rows, expected {expected}")
+            }
+            TableError::TooManyRows { found, max } => {
+                write!(
+                    f,
+                    "table has {found} rows, more than the {max} supported by 32-bit row ids"
+                )
             }
             TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             TableError::ColumnIndex(idx) => write!(f, "column index {idx} out of range"),

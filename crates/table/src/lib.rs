@@ -36,5 +36,5 @@ mod value;
 pub use error::TableError;
 pub use ranked::{RankedColumn, RankedTable};
 pub use schema::{ColumnMeta, Schema};
-pub use table::{employee_table, Table};
+pub use table::{check_row_count, employee_table, Table, MAX_ROWS};
 pub use value::{Value, ValueType};

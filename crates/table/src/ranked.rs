@@ -59,8 +59,17 @@ impl RankedTable {
     ///
     /// Cost: `O(c · n log n)` for `c` columns and `n` rows (one sort per
     /// column).
+    ///
+    /// # Panics
+    /// If the table exceeds [`crate::MAX_ROWS`] — unreachable for tables
+    /// built through [`Table::new`], which rejects oversized inputs with a
+    /// [`crate::TableError::TooManyRows`] first.
     pub fn from_table(table: &Table) -> RankedTable {
         let n = table.n_rows();
+        assert!(
+            crate::table::check_row_count(n).is_ok(),
+            "table exceeds MAX_ROWS; row ids would wrap past u32"
+        );
         let mut columns = Vec::with_capacity(table.n_cols());
         let mut order: Vec<u32> = (0..n as u32).collect();
         for c in 0..table.n_cols() {
@@ -103,6 +112,10 @@ impl RankedTable {
         assert!(
             cols.iter().all(|c| c.len() == n),
             "all columns must have equal length"
+        );
+        assert!(
+            crate::table::check_row_count(n).is_ok(),
+            "table exceeds MAX_ROWS; row ids would wrap past u32"
         );
         let mut columns = Vec::with_capacity(cols.len());
         for col in cols {

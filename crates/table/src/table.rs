@@ -9,6 +9,32 @@ use crate::error::TableError;
 use crate::schema::Schema;
 use crate::value::{Value, ValueType};
 
+/// The largest row count the workspace supports: row ids are `u32`
+/// throughout the hot paths (partitions, removal sets, rank permutations),
+/// with `u32::MAX` reserved as a probe-table sentinel. Construction-time
+/// guards ([`check_row_count`]) turn oversized inputs into a
+/// [`TableError::TooManyRows`] instead of silently wrapping ids.
+pub const MAX_ROWS: usize = u32::MAX as usize - 1;
+
+/// Checks a prospective row count against [`MAX_ROWS`].
+///
+/// Every table/partition constructor funnels through this (directly or via
+/// [`Table::new`]), so CSV ingestion, datagen and programmatic construction
+/// all reject oversized relations with a clean error rather than truncating
+/// `row as u32`.
+///
+/// # Errors
+/// [`TableError::TooManyRows`] when `n_rows > MAX_ROWS`.
+pub fn check_row_count(n_rows: usize) -> Result<(), TableError> {
+    if n_rows > MAX_ROWS {
+        return Err(TableError::TooManyRows {
+            found: n_rows,
+            max: MAX_ROWS,
+        });
+    }
+    Ok(())
+}
+
 /// A columnar table: a schema plus one value vector per column.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -22,7 +48,8 @@ impl Table {
     ///
     /// # Errors
     /// Returns [`TableError::ColumnLength`] when the column vectors disagree
-    /// in length or their count differs from the schema.
+    /// in length or their count differs from the schema, and
+    /// [`TableError::TooManyRows`] when the rows exceed [`MAX_ROWS`].
     pub fn new(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Self, TableError> {
         if columns.len() != schema.len() {
             return Err(TableError::ColumnLength {
@@ -32,6 +59,7 @@ impl Table {
             });
         }
         let n_rows = columns.first().map_or(0, Vec::len);
+        check_row_count(n_rows)?;
         for (i, col) in columns.iter().enumerate() {
             if col.len() != n_rows {
                 return Err(TableError::ColumnLength {
@@ -52,7 +80,8 @@ impl Table {
     ///
     /// # Errors
     /// Returns [`TableError::RowArity`] when a row length differs from the
-    /// header length, or [`TableError::DuplicateColumn`] for bad headers.
+    /// header length, [`TableError::DuplicateColumn`] for bad headers, or
+    /// [`TableError::TooManyRows`] beyond [`MAX_ROWS`].
     pub fn from_rows<S: AsRef<str>>(
         names: &[S],
         rows: Vec<Vec<Value>>,
@@ -308,6 +337,26 @@ pub fn employee_table() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_count_guard_boundaries() {
+        // The guard function is the testable unit (a real MAX_ROWS + 1
+        // table would need ~16 GiB of ids): at the boundary it accepts,
+        // one past it errors with the dedicated variant.
+        assert!(check_row_count(0).is_ok());
+        assert!(check_row_count(MAX_ROWS).is_ok());
+        match check_row_count(MAX_ROWS + 1) {
+            Err(TableError::TooManyRows { found, max }) => {
+                assert_eq!(found, MAX_ROWS + 1);
+                assert_eq!(max, MAX_ROWS);
+            }
+            other => panic!("expected TooManyRows, got {other:?}"),
+        }
+        // u32::MAX itself is reserved as the partition probe sentinel.
+        assert_eq!(MAX_ROWS, u32::MAX as usize - 1);
+        let msg = check_row_count(usize::MAX).unwrap_err().to_string();
+        assert!(msg.contains("32-bit row ids"), "{msg}");
+    }
 
     #[test]
     fn from_rows_builds_columns() {

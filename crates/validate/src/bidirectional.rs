@@ -56,27 +56,28 @@ pub fn min_removal_bidirectional(
     limit: usize,
 ) -> Option<usize> {
     // Normalise so that A is ascending: reversing *both* sides of an OC
-    // leaves its swaps unchanged (a swap is an orientation disagreement).
-    let (eff_dir_b, a_owned);
-    let a_eff: &[u32] = match dir_a {
-        Direction::Asc => {
-            eff_dir_b = dir_b;
-            a_ranks
-        }
-        Direction::Desc => {
-            eff_dir_b = match dir_b {
-                Direction::Asc => Direction::Desc,
-                Direction::Desc => Direction::Asc,
-            };
-            a_owned = Direction::Desc.apply(a_ranks, a_n_distinct);
-            &a_owned
-        }
+    // leaves its swaps unchanged (a swap is an orientation disagreement),
+    // so `A desc ~ B dir` over the original ranks equals
+    // `A asc ~ B flip(dir)` — flip B's direction and leave A untouched.
+    // (Reversing A *and* flipping B, as an earlier version did, applies
+    // the identity twice and validates the wrong instance; the brute-force
+    // pinning tests in `tests/cross_validator.rs` guard this.)
+    debug_assert!(
+        a_ranks.iter().all(|&r| r < a_n_distinct.max(1)),
+        "a_ranks must be dense in 0..a_n_distinct"
+    );
+    let eff_dir_b = match dir_a {
+        Direction::Asc => dir_b,
+        Direction::Desc => match dir_b {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        },
     };
     match eff_dir_b {
-        Direction::Asc => validator.min_removal_optimal(ctx, a_eff, b_ranks, limit),
+        Direction::Asc => validator.min_removal_optimal(ctx, a_ranks, b_ranks, limit),
         Direction::Desc => {
             let b_rev = Direction::Desc.apply(b_ranks, b_n_distinct);
-            validator.min_removal_optimal(ctx, a_eff, &b_rev, limit)
+            validator.min_removal_optimal(ctx, a_ranks, &b_rev, limit)
         }
     }
 }

@@ -7,6 +7,11 @@
 //!   exact swap scan, **Algorithm 2** (LNDS-based, minimal and optimal) and
 //!   **Algorithm 1** (the iterative PVLDB'17 baseline, quadratic and
 //!   non-minimal), plus the descending-tie-break variant for canonical ODs.
+//! * [`presample`] / [`HybridOcBackend`] — the **hybrid sampling**
+//!   direction from the paper's future work: a sound every-`stride`-th-row
+//!   quick-reject in front of Algorithm 2 ([`AocStrategy::Hybrid`]),
+//!   answer-identical to the optimal validator but cheaper on dirty
+//!   candidates.
 //! * [`OcValidatorBackend`] — the pluggable strategy-object form of the
 //!   same three validators ([`exact_backend`], [`strategy_backend`]); the
 //!   `aod-core` discovery engine dispatches through this trait, so custom
@@ -48,8 +53,8 @@ mod sampled;
 mod swap;
 
 pub use backend::{
-    exact_backend, strategy_backend, ExactOcBackend, IterativeOcBackend, OcValidatorBackend,
-    OptimalOcBackend,
+    exact_backend, strategy_backend, ExactOcBackend, HybridOcBackend, IterativeOcBackend,
+    OcValidatorBackend, OptimalOcBackend, SAMPLE_HIT_RATE_FLOOR,
 };
 pub use bidirectional::{
     best_direction, bidirectional_oc_holds, is_mixed_swap, min_removal_bidirectional, Direction,
@@ -64,7 +69,9 @@ pub use od::{
     projection_ranks,
 };
 pub use ofd::{exact_ofd_holds, min_removal_ofd, removal_set_ofd};
-pub use sampled::{min_removal_with_presample, presample, SampleVerdict};
+pub use sampled::{
+    min_removal_with_presample, presample, presample_with_scratch, SampleScratch, SampleVerdict,
+};
 pub use swap::{
     count_swaps_brute, is_split, is_swap, pack_asc, pack_desc_b, sorted_pairs_swap_free,
 };
@@ -76,13 +83,39 @@ use aod_table::RankedTable;
 /// `e(φ) = |s|/n ≤ ε  ⟺  |s| ≤ ⌊ε·n⌋` (removal sets have integer size).
 ///
 /// A small guard absorbs floating-point noise like `0.1 * 30 = 2.9999…`.
+///
+/// An `epsilon` outside `[0, 1]` is a caller bug: it trips a debug
+/// assertion, and release builds clamp into range instead of computing a
+/// nonsense budget. Boundary code (CLI flags, HTTP request parsers) should
+/// range-check first — or use [`try_removal_budget`] — so a bad threshold
+/// surfaces as a clean error, never a panic.
 pub fn removal_budget(n_rows: usize, epsilon: f64) -> usize {
-    assert!(
+    debug_assert!(
         (0.0..=1.0).contains(&epsilon),
         "epsilon must be within [0, 1]"
     );
+    let epsilon = if epsilon.is_nan() {
+        0.0
+    } else {
+        epsilon.clamp(0.0, 1.0)
+    };
     ((epsilon * n_rows as f64) + 1e-9).floor() as usize
 }
+
+/// The checked form of [`removal_budget`]: rejects thresholds outside
+/// `[0, 1]` (including NaN) with a user-facing message instead of
+/// asserting. Validation boundaries (CLI, HTTP) call this so
+/// `--epsilon 1.5` is an error, not a panic.
+pub fn try_removal_budget(n_rows: usize, epsilon: f64) -> Result<usize, String> {
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(format!("epsilon {epsilon} is not within [0, 1]"));
+    }
+    Ok(removal_budget(n_rows, epsilon))
+}
+
+/// Default systematic-sample stride for [`AocStrategy::Hybrid`]: every
+/// 8th grouped row enters the pre-check sample.
+pub const DEFAULT_SAMPLE_STRIDE: usize = 8;
 
 /// Which AOC validation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +126,70 @@ pub enum AocStrategy {
     /// Algorithm 1 — iterative max-swap removal, `O(n log n + εn²)`,
     /// may overestimate.
     Iterative,
+    /// Algorithm 2 behind a sampling quick-reject (the hybrid direction
+    /// from the paper's future work): a systematic every-`stride`-th-row
+    /// sample is validated first, and — by the lower-bound lemma in
+    /// [`presample`] — can prove dirty candidates invalid at a fraction
+    /// of the cost. Candidates that pass the sample get the full optimal
+    /// validation, so verdicts (and discovered dependency sets) are
+    /// identical to [`AocStrategy::Optimal`].
+    Hybrid {
+        /// Initial sample stride (≥ 1; `1` disables the pre-check). The
+        /// discovery engine adapts it downward level by level when the
+        /// sample stops rejecting (see `HybridOcBackend`).
+        stride: usize,
+    },
+}
+
+impl AocStrategy {
+    /// The hybrid strategy at [`DEFAULT_SAMPLE_STRIDE`].
+    #[must_use]
+    pub fn hybrid() -> AocStrategy {
+        AocStrategy::Hybrid {
+            stride: DEFAULT_SAMPLE_STRIDE,
+        }
+    }
+
+    /// Short stable name ("optimal", "iterative", "hybrid") for logs,
+    /// wire encodings and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AocStrategy::Optimal => "optimal",
+            AocStrategy::Iterative => "iterative",
+            AocStrategy::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The inverse of [`name`](AocStrategy::name): parses a strategy from
+    /// its stable name plus an optional sample stride. This is the one
+    /// shared name→strategy mapping for every validation boundary (CLI
+    /// flags, HTTP job specs), so the accepted set can't drift between
+    /// surfaces.
+    ///
+    /// # Errors
+    /// Unknown names, a stride of 0, and a stride combined with a
+    /// non-hybrid strategy are user-facing errors.
+    pub fn from_name(name: &str, sample_stride: Option<usize>) -> Result<AocStrategy, String> {
+        if sample_stride == Some(0) {
+            return Err("sample stride must be at least 1".to_string());
+        }
+        let strategy = match name {
+            "optimal" => AocStrategy::Optimal,
+            "iterative" => AocStrategy::Iterative,
+            "hybrid" => AocStrategy::Hybrid {
+                stride: sample_stride.unwrap_or(DEFAULT_SAMPLE_STRIDE),
+            },
+            other => {
+                return Err(format!(
+                    "unknown strategy `{other}` (optimal|iterative|hybrid)"
+                ))
+            }
+        };
+        if sample_stride.is_some() && !matches!(strategy, AocStrategy::Hybrid { .. }) {
+            return Err("sample stride only applies with the hybrid strategy".to_string());
+        }
+        Ok(strategy)
+    }
 }
 
 /// Result of validating one approximate dependency against a threshold.
@@ -140,6 +237,9 @@ pub fn validate_aoc(
     let removed = match strategy {
         AocStrategy::Optimal => v.min_removal_optimal(&ctx, ar, br, budget),
         AocStrategy::Iterative => v.min_removal_iterative(&ctx, ar, br, budget),
+        AocStrategy::Hybrid { stride } => {
+            min_removal_with_presample(&mut v, &ctx, ar, br, budget, stride)
+        }
     };
     Outcome {
         removed,
@@ -197,10 +297,99 @@ mod tests {
         assert_eq!(removal_budget(0, 0.5), 0);
     }
 
+    // A debug assertion, not a release panic: boundaries (CLI / HTTP)
+    // range-check first, and `try_removal_budget` is the checked form.
+    // Gated on debug_assertions so `cargo test --release` (which compiles
+    // the assertion out and clamps instead) doesn't expect a panic.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "within [0, 1]")]
-    fn removal_budget_rejects_bad_epsilon() {
+    fn removal_budget_rejects_bad_epsilon_in_debug() {
         removal_budget(10, 1.5);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn removal_budget_clamps_bad_epsilon_in_release() {
+        assert_eq!(removal_budget(10, 1.5), 10);
+        assert_eq!(removal_budget(10, -3.0), 0);
+        assert_eq!(removal_budget(10, f64::NAN), 0);
+    }
+
+    #[test]
+    fn try_removal_budget_is_the_checked_boundary() {
+        assert_eq!(try_removal_budget(9, 0.44), Ok(3));
+        assert_eq!(try_removal_budget(9, 0.0), Ok(0));
+        assert_eq!(try_removal_budget(9, 1.0), Ok(9));
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = try_removal_budget(9, bad).unwrap_err();
+            assert!(err.contains("not within [0, 1]"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_and_hybrid_default() {
+        assert_eq!(AocStrategy::Optimal.name(), "optimal");
+        assert_eq!(AocStrategy::Iterative.name(), "iterative");
+        assert_eq!(AocStrategy::hybrid().name(), "hybrid");
+        assert_eq!(
+            AocStrategy::hybrid(),
+            AocStrategy::Hybrid {
+                stride: DEFAULT_SAMPLE_STRIDE
+            }
+        );
+    }
+
+    #[test]
+    fn strategy_from_name_round_trips_and_validates() {
+        // Round trip: every strategy parses back from its own name.
+        for s in [
+            AocStrategy::Optimal,
+            AocStrategy::Iterative,
+            AocStrategy::hybrid(),
+        ] {
+            let stride = match s {
+                AocStrategy::Hybrid { stride } => Some(stride),
+                _ => None,
+            };
+            assert_eq!(AocStrategy::from_name(s.name(), stride), Ok(s));
+        }
+        assert_eq!(
+            AocStrategy::from_name("hybrid", None),
+            Ok(AocStrategy::hybrid())
+        );
+        assert_eq!(
+            AocStrategy::from_name("hybrid", Some(16)),
+            Ok(AocStrategy::Hybrid { stride: 16 })
+        );
+        // Boundary errors, shared by CLI and HTTP surfaces.
+        assert!(AocStrategy::from_name("fast", None)
+            .unwrap_err()
+            .contains("unknown strategy"));
+        assert!(AocStrategy::from_name("hybrid", Some(0))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(AocStrategy::from_name("optimal", Some(8))
+            .unwrap_err()
+            .contains("only applies"));
+        assert!(AocStrategy::from_name("iterative", Some(8)).is_err());
+    }
+
+    #[test]
+    fn validate_aoc_hybrid_matches_optimal() {
+        let t = RankedTable::from_table(&employee_table());
+        for (eps, stride) in [(0.5, 4), (0.4, 8), (0.0, 2), (0.45, 1)] {
+            let opt = validate_aoc(&t, AttrSet::EMPTY, 2, 5, eps, AocStrategy::Optimal);
+            let hyb = validate_aoc(
+                &t,
+                AttrSet::EMPTY,
+                2,
+                5,
+                eps,
+                AocStrategy::Hybrid { stride },
+            );
+            assert_eq!(opt, hyb, "eps {eps}, stride {stride}");
+        }
     }
 
     #[test]

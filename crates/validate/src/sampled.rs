@@ -28,6 +28,15 @@ pub enum SampleVerdict {
     NeedFullValidation,
 }
 
+/// Reusable buffers for [`presample_with_scratch`]: holding one of these
+/// across candidates (as [`crate::HybridOcBackend`] does) removes the two
+/// `Vec` allocations per pre-check from the validation hot path.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    elems: Vec<u32>,
+    bounds: Vec<u32>,
+}
+
 /// Runs the optimal validator on every `stride`-th row (a systematic
 /// sample) of the context classes and compares the resulting *lower bound*
 /// against the full-table `budget`.
@@ -35,6 +44,9 @@ pub enum SampleVerdict {
 /// `stride = 1` degenerates to full validation of the bound; typical use
 /// is `stride` in the 4–32 range. The sample keeps every class's selected
 /// rows together, so it remains a valid sub-instance of the same OC.
+///
+/// Allocates fresh sample buffers; validation loops should prefer
+/// [`presample_with_scratch`].
 pub fn presample(
     validator: &mut OcValidator,
     ctx: &Partition,
@@ -43,11 +55,37 @@ pub fn presample(
     budget: usize,
     stride: usize,
 ) -> SampleVerdict {
+    presample_with_scratch(
+        validator,
+        ctx,
+        a_ranks,
+        b_ranks,
+        budget,
+        stride,
+        &mut SampleScratch::default(),
+    )
+}
+
+/// [`presample`] with caller-provided buffers: the sampled sub-partition
+/// is assembled in (and recovered back into) `scratch`, so repeated
+/// pre-checks are allocation-free once the buffers have grown.
+pub fn presample_with_scratch(
+    validator: &mut OcValidator,
+    ctx: &Partition,
+    a_ranks: &[u32],
+    b_ranks: &[u32],
+    budget: usize,
+    stride: usize,
+    scratch: &mut SampleScratch,
+) -> SampleVerdict {
     let stride = stride.max(1);
     // Build the sampled sub-partition: every stride-th grouped row, classes
     // preserved (classes that shrink below 2 rows drop out naturally).
-    let mut elems: Vec<u32> = Vec::new();
-    let mut bounds: Vec<u32> = vec![0];
+    let mut elems = std::mem::take(&mut scratch.elems);
+    let mut bounds = std::mem::take(&mut scratch.bounds);
+    elems.clear();
+    bounds.clear();
+    bounds.push(0);
     for class in ctx.classes() {
         let start = elems.len();
         elems.extend(class.iter().step_by(stride).copied());
@@ -58,11 +96,15 @@ pub fn presample(
         }
     }
     let sampled = Partition::from_parts(elems, bounds, ctx.n_rows());
-    match validator.min_removal_optimal(&sampled, a_ranks, b_ranks, budget) {
+    let verdict = match validator.min_removal_optimal(&sampled, a_ranks, b_ranks, budget) {
         // the sampled lower bound already exceeds the budget
         None => SampleVerdict::ProvenInvalid,
         Some(_) => SampleVerdict::NeedFullValidation,
-    }
+    };
+    let (elems, bounds, _) = sampled.into_parts();
+    scratch.elems = elems;
+    scratch.bounds = bounds;
+    verdict
 }
 
 /// Full validation with the sampling pre-check in front: identical result
@@ -143,6 +185,39 @@ mod tests {
             let plain = v.min_removal_optimal(&ctx, a, b, budget);
             let sampled = min_removal_with_presample(&mut v, &ctx, a, b, budget, stride);
             prop_assert_eq!(plain, sampled);
+        }
+
+        /// Soundness at the acceptance sweep: over random tables,
+        /// stride ∈ {1..32} and ε ∈ {0, 0.05, …, 0.5}, `presample` never
+        /// returns `ProvenInvalid` for a candidate the full optimal
+        /// validator accepts — and the composed pipeline is therefore
+        /// answer-identical. Also exercises `Partition::from_parts`
+        /// invariants (monotone offsets, classes ≥ 2) across stride ×
+        /// class-size combinations: debug assertions fire here if the
+        /// sampled bounds ever degenerate.
+        #[test]
+        fn presample_is_sound_across_strides_and_epsilons(
+            a in proptest::collection::vec(0u32..10, 2..64),
+            b_seed in proptest::collection::vec(0u32..10, 2..64),
+            ctx_vals in proptest::collection::vec(0u32..4, 2..64),
+            stride in 1usize..33,
+            eps_step in 0usize..11,
+        ) {
+            let n = a.len().min(b_seed.len()).min(ctx_vals.len());
+            let (a, b, c) = (&a[..n], &b_seed[..n], &ctx_vals[..n]);
+            let epsilon = eps_step as f64 * 0.05;
+            let budget = crate::removal_budget(n, epsilon);
+            let ctx = Partition::from_ranks(c, 4);
+            let mut v = OcValidator::new();
+            let plain = v.min_removal_optimal(&ctx, a, b, budget);
+            let verdict = presample(&mut v, &ctx, a, b, budget, stride);
+            if verdict == SampleVerdict::ProvenInvalid {
+                // The sample may only reject candidates the full
+                // validator rejects too.
+                prop_assert_eq!(plain, None, "unsound reject at stride {}", stride);
+            }
+            let piped = min_removal_with_presample(&mut v, &ctx, a, b, budget, stride);
+            prop_assert_eq!(plain, piped);
         }
 
         /// The lemma itself: a sampled sub-instance's minimal removal count

@@ -10,7 +10,7 @@
 //! | [`partition`] | attribute sets, stripped partitions, products, cache |
 //! | [`lis`] | LNDS/LIS (patience), inversion counting |
 //! | [`exec`] | work-stealing scoped thread pool for per-level parallelism |
-//! | [`validate`] | exact + approximate OC/OFD/OD validators (Algorithms 1 & 2) |
+//! | [`validate`] | exact + approximate OC/OFD/OD validators (Algorithms 1 & 2, hybrid sampling) |
 //! | [`core`] | the set-based lattice discovery framework |
 //! | [`tane`] | TANE-style (approximate) FD discovery baseline |
 //! | [`datagen`] | synthetic `flight`/`ncvoter`-shaped workloads |

@@ -197,6 +197,102 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pins the (still unwired) bidirectional validator to the brute-force
+    /// oracle across all four direction combinations: reversing the rank
+    /// order of a side and validating with the ordinary machinery must
+    /// report exactly the brute-force minimal removal count of the
+    /// direction-transformed instance. This is the safety net for wiring
+    /// bidirectional discovery into the engine in a later PR.
+    #[test]
+    fn bidirectional_min_removal_matches_brute_oracle(
+        (a, b, ctx_vals) in small_instance()
+    ) {
+        use aod::validate::{min_removal_bidirectional, Direction};
+        let n_distinct = 5u32;
+        let ctx = Partition::from_ranks(&ctx_vals, 3);
+        let mut v = OcValidator::new();
+        for dir_a in [Direction::Asc, Direction::Desc] {
+            for dir_b in [Direction::Asc, Direction::Desc] {
+                let fast = min_removal_bidirectional(
+                    &mut v, &ctx, &a, n_distinct, dir_a, &b, n_distinct, dir_b, usize::MAX,
+                )
+                .expect("no limit");
+                // Independent oracle: transform the ranks per direction,
+                // then brute-force the ordinary OC.
+                let a2 = dir_a.apply(&a, n_distinct);
+                let b2 = dir_b.apply(&b, n_distinct);
+                let brute = brute_min_removal_oc(&ctx, &a2, &b2);
+                prop_assert_eq!(
+                    fast, brute,
+                    "dirs {:?}/{:?} on a={:?} b={:?} ctx={:?}",
+                    dir_a, dir_b, &a, &b, &ctx_vals
+                );
+            }
+        }
+    }
+
+    /// `best_direction` really is the argmin over the two orientations of
+    /// `B` (with `A` fixed ascending, which loses no generality), and its
+    /// reported count matches the brute oracle of the chosen orientation.
+    #[test]
+    fn best_direction_is_the_argmin_of_the_brute_oracles(
+        (a, b, ctx_vals) in small_instance()
+    ) {
+        use aod::validate::{best_direction, Direction};
+        let n_distinct = 5u32;
+        let ctx = Partition::from_ranks(&ctx_vals, 3);
+        let mut v = OcValidator::new();
+        let (dir, count) = best_direction(&mut v, &ctx, &a, &b, n_distinct);
+        let asc = brute_min_removal_oc(&ctx, &a, &b);
+        let desc = brute_min_removal_oc(&ctx, &a, &Direction::Desc.apply(&b, n_distinct));
+        prop_assert_eq!(count, asc.min(desc));
+        match dir {
+            Direction::Asc => prop_assert_eq!(count, asc),
+            Direction::Desc => prop_assert_eq!(count, desc),
+        }
+    }
+
+    /// Exactness coupling: `bidirectional_oc_holds` ⟺ the transformed
+    /// instance's minimal removal set is empty, and the `limit` early-exit
+    /// never changes a verdict (it only changes whether the count is
+    /// reported).
+    #[test]
+    fn bidirectional_exactness_and_limits_are_consistent(
+        (a, b, ctx_vals) in small_instance()
+    ) {
+        use aod::validate::{bidirectional_oc_holds, min_removal_bidirectional, Direction};
+        let n_distinct = 5u32;
+        let ctx = Partition::from_ranks(&ctx_vals, 3);
+        let mut v = OcValidator::new();
+        for dir_b in [Direction::Asc, Direction::Desc] {
+            let holds = bidirectional_oc_holds(
+                &mut v, &ctx, &a, n_distinct, Direction::Asc, &b, n_distinct, dir_b,
+            );
+            let full = min_removal_bidirectional(
+                &mut v, &ctx, &a, n_distinct, Direction::Asc, &b, n_distinct, dir_b, usize::MAX,
+            )
+            .expect("no limit");
+            prop_assert_eq!(holds, full == 0);
+            // Early exit: a limit below the true count yields None, at or
+            // above it yields the count.
+            if full > 0 {
+                let below = min_removal_bidirectional(
+                    &mut v, &ctx, &a, n_distinct, Direction::Asc, &b, n_distinct, dir_b,
+                    full - 1,
+                );
+                prop_assert_eq!(below, None);
+            }
+            let at = min_removal_bidirectional(
+                &mut v, &ctx, &a, n_distinct, Direction::Asc, &b, n_distinct, dir_b, full,
+            );
+            prop_assert_eq!(at, Some(full));
+        }
+    }
+}
+
 #[test]
 fn timeout_budget_respected_on_iterative_runs() {
     use std::time::{Duration, Instant};

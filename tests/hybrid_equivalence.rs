@@ -1,0 +1,218 @@
+//! The hybrid strategy's correctness contract: because the sampling
+//! pre-check is *reject-only and sound* (a sample's minimal removal count
+//! lower-bounds the full table's), discovery with
+//! `AocStrategy::Hybrid { stride }` must be **bit-identical** to
+//! `AocStrategy::Optimal` — same event stream, same dependency lists
+//! (including `f64` factors and coverage), same per-level counters — for
+//! every stride, every ε and every thread count. The only permitted
+//! differences are the `Duration` timers, `threads_used`, and the two
+//! sampling counters themselves (`n_sample_hits`/`n_sample_misses`), which
+//! are definitionally zero for the optimal backend.
+//!
+//! Acceptance matrix: stride ∈ {1, 4, 16} × ε ∈ {0, 0.1, 0.3} ×
+//! threads ∈ {1, 4}.
+
+use aod::datagen::dirty::{inject_concatenated_zero, inject_transpositions};
+use aod::datagen::flight;
+use aod::prelude::*;
+
+const STRIDES: [usize; 3] = [1, 4, 16];
+const EPSILONS: [f64; 3] = [0.0, 0.1, 0.3];
+const THREADS: [usize; 2] = [1, 4];
+
+/// A flight-shaped table with injected dirt (the paper's concatenated-zero
+/// error plus transposition noise), projected to 6 columns — small enough
+/// for the debug-profile matrix, dirty enough that the sampling pre-check
+/// actually fires.
+fn dirty_flight(rows: usize) -> RankedTable {
+    let mut table = flight::flight(7).table(rows);
+    // arrDelay (10) and lateAircraftDelay (24) carry the planted
+    // near-threshold OC; dirty them and two context-ish columns.
+    inject_concatenated_zero(&mut table, 10, 0.15, 11);
+    inject_transpositions(&mut table, 24, 0.2, 13);
+    inject_transpositions(&mut table, 1, 0.1, 17);
+    RankedTable::from_table(&table).with_first_columns(6)
+}
+
+fn run(
+    table: &RankedTable,
+    epsilon: f64,
+    strategy: AocStrategy,
+    threads: usize,
+) -> (Vec<DiscoveryEvent>, DiscoveryResult) {
+    let mut session = DiscoveryBuilder::new()
+        .approximate(epsilon)
+        .strategy(strategy)
+        .parallelism(threads)
+        .build(table);
+    let events: Vec<DiscoveryEvent> = session.by_ref().collect();
+    (events, session.into_result())
+}
+
+/// Zeroes the sampling counters inside `LevelComplete` events so hybrid
+/// and optimal streams can be compared bytewise on everything else.
+fn scrub_events(events: &[DiscoveryEvent]) -> Vec<DiscoveryEvent> {
+    events
+        .iter()
+        .cloned()
+        .map(|event| match event {
+            DiscoveryEvent::LevelComplete(mut outcome) => {
+                outcome.stats.n_sample_hits = 0;
+                outcome.stats.n_sample_misses = 0;
+                DiscoveryEvent::LevelComplete(outcome)
+            }
+            other => other,
+        })
+        .collect()
+}
+
+fn scrub_levels(levels: &[aod::core::LevelStats]) -> Vec<aod::core::LevelStats> {
+    levels
+        .iter()
+        .cloned()
+        .map(|mut l| {
+            l.n_sample_hits = 0;
+            l.n_sample_misses = 0;
+            l
+        })
+        .collect()
+}
+
+/// The full acceptance matrix on both tables: hybrid ≡ optimal on events,
+/// dependency lists and counters, for every stride × ε × thread count.
+#[test]
+fn hybrid_is_bit_identical_to_optimal_across_the_matrix() {
+    let tables = [
+        ("employee", RankedTable::from_table(&employee_table())),
+        ("dirty-flight", dirty_flight(400)),
+    ];
+    for (name, table) in &tables {
+        for epsilon in EPSILONS {
+            let (base_events, base) = run(table, epsilon, AocStrategy::Optimal, 1);
+            assert!(
+                base.stats.n_sample_hits() == 0 && base.stats.n_sample_misses() == 0,
+                "optimal must never report sampling counters"
+            );
+            for stride in STRIDES {
+                for threads in THREADS {
+                    let label = format!("{name}, eps {epsilon}, stride {stride}, t{threads}");
+                    let (events, result) =
+                        run(table, epsilon, AocStrategy::Hybrid { stride }, threads);
+                    assert_eq!(scrub_events(&events), scrub_events(&base_events), "{label}");
+                    assert_eq!(result.ocs, base.ocs, "{label}");
+                    assert_eq!(result.ofds, base.ofds, "{label}");
+                    assert_eq!(
+                        scrub_levels(&result.stats.per_level),
+                        scrub_levels(&base.stats.per_level),
+                        "{label}"
+                    );
+                    // Stride 1 means the pre-check is off entirely.
+                    if stride == 1 {
+                        assert_eq!(result.stats.n_sample_hits(), 0, "{label}");
+                        assert_eq!(result.stats.n_sample_misses(), 0, "{label}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Across thread counts the hybrid run is *fully* bit-identical — the
+/// sampling counters included, because the adaptive stride schedule is
+/// driven by counters the engine merges deterministically at each level
+/// barrier.
+#[test]
+fn hybrid_parallel_matches_hybrid_sequential_including_sample_counters() {
+    let tables = [
+        ("employee", RankedTable::from_table(&employee_table())),
+        ("dirty-flight", dirty_flight(400)),
+    ];
+    for (name, table) in &tables {
+        for epsilon in EPSILONS {
+            for stride in STRIDES {
+                let label = format!("{name}, eps {epsilon}, stride {stride}");
+                let strategy = AocStrategy::Hybrid { stride };
+                let (seq_events, seq) = run(table, epsilon, strategy, 1);
+                let (par_events, par) = run(table, epsilon, strategy, 4);
+                assert_eq!(par_events, seq_events, "{label}");
+                assert_eq!(par.ocs, seq.ocs, "{label}");
+                assert_eq!(par.ofds, seq.ofds, "{label}");
+                assert_eq!(par.stats.per_level, seq.stats.per_level, "{label}");
+                assert_eq!(
+                    par.stats.n_sample_hits(),
+                    seq.stats.n_sample_hits(),
+                    "{label}"
+                );
+            }
+        }
+    }
+}
+
+/// The suite must not be vacuous: on the dirty table with a small ε the
+/// pre-check actually rejects candidates, and the per-level counters show
+/// up both in the stats and in the `level_complete` wire events.
+#[test]
+fn sampling_counters_fire_on_dirty_data_and_reach_the_wire() {
+    let table = dirty_flight(400);
+    let (events, result) = run(&table, 0.05, AocStrategy::Hybrid { stride: 8 }, 1);
+    assert!(
+        result.stats.n_sample_hits() > 0,
+        "expected sample rejections on dirty data, got {:?}",
+        result
+            .stats
+            .per_level
+            .iter()
+            .map(|l| (l.n_sample_hits, l.n_sample_misses))
+            .collect::<Vec<_>>()
+    );
+    // Per-level counters reconcile with candidate counts: every validated
+    // candidate is a hit, a miss, or validated with the pre-check off.
+    for l in &result.stats.per_level {
+        assert!(
+            l.n_sample_hits + l.n_sample_misses <= l.n_oc_candidates,
+            "level {}: {} + {} > {}",
+            l.level,
+            l.n_sample_hits,
+            l.n_sample_misses,
+            l.n_oc_candidates
+        );
+    }
+    // The wire encoding carries the counters.
+    let wired: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+    assert!(
+        wired.iter().any(
+            |line| line.contains("\"n_sample_hits\":") && !line.contains("\"n_sample_hits\":0")
+        ),
+        "no level_complete event carried a non-zero n_sample_hits"
+    );
+    // And the result encoding parses back with the counters present.
+    let parsed = aod::core::json::JsonValue::parse(&result.to_json()).unwrap();
+    let levels = parsed
+        .get("stats")
+        .unwrap()
+        .get("per_level")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let total: u64 = levels
+        .iter()
+        .map(|l| l.get("n_sample_hits").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(total, result.stats.n_sample_hits() as u64);
+}
+
+/// The compat `discover()` path works with the hybrid config constructors
+/// and agrees with the builder path.
+#[test]
+fn hybrid_config_constructors_plumb_through_discover() {
+    let table = RankedTable::from_table(&employee_table());
+    let via_config = discover(&table, &DiscoveryConfig::approximate_hybrid(0.15, 4));
+    let via_builder = DiscoveryBuilder::new()
+        .approximate(0.15)
+        .strategy(AocStrategy::Hybrid { stride: 4 })
+        .run(&table);
+    let optimal = discover(&table, &DiscoveryConfig::approximate(0.15));
+    assert_eq!(via_config.ocs, via_builder.ocs);
+    assert_eq!(via_config.ocs, optimal.ocs);
+    assert_eq!(via_config.ofds, optimal.ofds);
+}

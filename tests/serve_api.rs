@@ -236,6 +236,20 @@ fn malformed_bodies_are_400s() {
             "within [0, 1]",
         ),
         (
+            // The validation-boundary regression: an out-of-range
+            // threshold is a clean 400, never a panicking job thread.
+            r#"{"dataset":"emp","config":{"epsilon":1.5}}"#,
+            "within [0, 1]",
+        ),
+        (
+            r#"{"dataset":"emp","config":{"epsilon":0.1,"strategy":"hybrid","sample_stride":0}}"#,
+            "at least 1",
+        ),
+        (
+            r#"{"dataset":"emp","config":{"epsilon":0.1,"sample_stride":8}}"#,
+            "only applies",
+        ),
+        (
             r#"{"dataset":"emp","config":{"frobnicate":true}}"#,
             "unknown config field",
         ),
@@ -361,6 +375,61 @@ fn identical_requests_hit_the_result_cache() {
         .json()
         .unwrap();
     assert_eq!(stats.get("jobs_executed").unwrap().as_u64(), Some(2));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn hybrid_jobs_match_optimal_but_never_share_cache_entries() {
+    let handle = start_server();
+    let addr = handle.addr();
+    register_employee(addr, "emp");
+    let optimal = submit_job(
+        addr,
+        r#"{"dataset":"emp","config":{"epsilon":0.15,"strategy":"optimal"}}"#,
+    );
+    wait_done(addr, optimal);
+    let hybrid = submit_job(
+        addr,
+        r#"{"dataset":"emp","config":{"epsilon":0.15,"strategy":"hybrid","sample_stride":4}}"#,
+    );
+    wait_done(addr, hybrid);
+
+    // The strategy (and stride) is part of the cache key: despite
+    // identical dependency output, the hybrid job executed a fresh run.
+    let stats = request(addr, "GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(stats.get("jobs_executed").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(0));
+
+    // And the dependency payloads agree bit for bit (the hybrid pre-check
+    // is reject-only and sound) — only stats (timings, sampling
+    // counters) may differ between the two results.
+    let deps = |id: u64| {
+        let r = request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+        assert_eq!(r.status, 200);
+        let v = r.json().unwrap();
+        (
+            v.get("ocs").unwrap().to_json(),
+            v.get("ofds").unwrap().to_json(),
+        )
+    };
+    assert_eq!(deps(optimal), deps(hybrid));
+
+    // Resubmitting the same hybrid spelling *is* a cache hit.
+    let again = submit_job(
+        addr,
+        r#"{"dataset":"emp","config":{"strategy":"hybrid","sample_stride":4,"epsilon":0.15}}"#,
+    );
+    wait_done(addr, again);
+    let stats = request(addr, "GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(stats.get("jobs_executed").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
     handle.shutdown();
     handle.join();
 }
