@@ -8,6 +8,7 @@
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! record produced from these binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use aod_core::{AocStrategy, DiscoveryBuilder, DiscoveryResult};

@@ -15,6 +15,8 @@
 //! Argument parsing is hand-rolled (the offline dependency policy excludes
 //! `clap`); see [`Args`].
 
+#![forbid(unsafe_code)]
+
 use aod_core::{
     discover, outlier_report, AocStrategy, DiscoveryBuilder, DiscoveryConfig, DiscoveryEvent,
     DiscoveryResult,

@@ -52,6 +52,7 @@
 //! The one-shot [`discover`] is the compat shorthand for
 //! `DiscoveryBuilder::from_config(config.clone()).run(table)`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;

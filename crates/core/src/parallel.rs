@@ -22,6 +22,14 @@
 //! merges the per-node [`NodeEval`]s **in node order** at the level
 //! barrier, replaying recordings, events and counters so the parallel run
 //! is bit-identical to the sequential one.
+//!
+//! That bit-identical contract is machine-checked: `aod-lint` rule D1
+//! forbids hash-map/set iteration in this module (and the rest of the
+//! determinism-critical set listed in the workspace `lint.toml`), D2
+//! keeps wall-clock reads confined to the registered timing code, and
+//! the executor's steal/publish protocol this module runs under is
+//! model-checked in `crates/exec/tests/loom_models.rs`. See the
+//! "Static analysis & invariants" section of the README.
 
 use crate::candidates::{oc_candidates, ofd_candidates, OcCandidate};
 use crate::config::{Mode, PruneConfig};

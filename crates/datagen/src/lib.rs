@@ -23,6 +23,7 @@
 //! assert_eq!(table.n_rows(), 1_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dirty;

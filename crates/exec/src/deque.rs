@@ -1,0 +1,168 @@
+//! The steal-half / publish-back deque protocol.
+//!
+//! Public (rather than an implementation detail of the executor) so the
+//! mini-loom model tests in `tests/loom_models.rs` can drive the **real**
+//! operations — [`StealQueue::pop`], [`StealQueue::steal_half`],
+//! [`StealQueue::publish`] — under every interleaving of 2–3 workers,
+//! with each mutex critical section as one atomic model step. The safety
+//! property those tests check is the one [`Slots`](crate::Executor)
+//! relies on: every dealt item index is claimed by **exactly one** worker
+//! (no loss, no double-claim), under any schedule of pops, steals and
+//! publish-backs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::sync::Mutex;
+
+/// One worker's claimable item indices. A `Mutex<VecDeque>` rather than a
+/// lock-free Chase–Lev deque: items here are whole lattice nodes
+/// (milliseconds of validation), so claim overhead is noise and the mutex
+/// keeps owner-pop vs. thief-steal races trivially correct — each public
+/// operation below is exactly one critical section.
+#[derive(Debug)]
+pub struct StealQueue {
+    deque: Mutex<VecDeque<usize>>,
+}
+
+impl StealQueue {
+    /// A queue pre-loaded with the given item indices, front first.
+    pub fn new(items: impl IntoIterator<Item = usize>) -> StealQueue {
+        StealQueue {
+            deque: Mutex::new(items.into_iter().collect()),
+        }
+    }
+
+    /// Owner and thieves alike claim from the front, one item at a time.
+    pub fn pop(&self) -> Option<usize> {
+        self.deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Steals the back half of this queue (at least one item when
+    /// non-empty), leaving the front for the owner.
+    pub fn steal_half(&self) -> VecDeque<usize> {
+        let mut deque = self.deque.lock().unwrap_or_else(|e| e.into_inner());
+        let keep = deque.len() / 2;
+        deque.split_off(keep)
+    }
+
+    /// Appends stolen items (the thief publishes them in its own deque, so
+    /// they stay stealable by third workers).
+    pub fn publish(&self, items: VecDeque<usize>) {
+        self.deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(items);
+    }
+
+    /// Current queue length. Advisory only — by the time the caller acts
+    /// on it another worker may have claimed from or published to the
+    /// queue; the worker loop uses it purely as a victim-selection
+    /// heuristic, never for correctness.
+    pub fn len(&self) -> usize {
+        self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when no items remain claimable right now (same advisory
+    /// caveat as [`StealQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the current contents, front first. For model tests and
+    /// diagnostics (the worker loop itself never needs it).
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Total lock acquisitions across all operations on this queue.
+    /// Model tests use it to assert the protocol really serialized
+    /// through the mutex.
+    #[cfg(feature = "loom")]
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.deque.acquisitions()
+    }
+}
+
+/// Deals `0..n_items` to `n_workers` contiguous deques (block
+/// distribution, so neighbouring items — neighbouring lattice nodes, which
+/// tend to have similar partition sizes — start on the same worker).
+pub fn deal(n_items: usize, n_workers: usize) -> Vec<StealQueue> {
+    (0..n_workers)
+        .map(|w| {
+            let start = n_items * w / n_workers;
+            let end = n_items * (w + 1) / n_workers;
+            StealQueue::new(start..end)
+        })
+        .collect()
+}
+
+/// Drains the worker's own deque, then steals from the fullest other
+/// deque until every deque is empty (claimed items may still be in flight
+/// on their claimers — that is fine, nothing is ever re-queued). Stolen
+/// batches are published back into the thief's own deque so third workers
+/// can re-steal them.
+pub(crate) fn worker_loop(
+    own: usize,
+    queues: &[StealQueue],
+    abort: &AtomicBool,
+    mut run: impl FnMut(usize),
+) {
+    loop {
+        if let Some(i) = queues[own].pop() {
+            if abort.load(Ordering::Relaxed) {
+                return;
+            }
+            run(i);
+            continue;
+        }
+        // Steal: pick the victim with the most remaining work.
+        let victim = (0..queues.len())
+            .filter(|&v| v != own)
+            .map(|v| (queues[v].len(), v))
+            .max();
+        match victim {
+            Some((len, v)) if len > 0 => queues[own].publish(queues[v].steal_half()),
+            _ => return, // every deque empty — all items claimed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_half_takes_the_back() {
+        let q = StealQueue::new(0..5);
+        let stolen = q.steal_half();
+        assert_eq!(stolen, VecDeque::from(vec![2, 3, 4]));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        // Stealing a single remaining item empties the queue.
+        let q1 = StealQueue::new([9]);
+        assert_eq!(q1.steal_half(), VecDeque::from(vec![9]));
+        assert!(q1.is_empty());
+    }
+
+    #[test]
+    fn deal_is_a_block_distribution() {
+        let queues = deal(10, 3);
+        let blocks: Vec<Vec<usize>> = queues
+            .iter()
+            .map(|q| std::iter::from_fn(|| q.pop()).collect())
+            .collect();
+        assert_eq!(blocks[0], vec![0, 1, 2]);
+        assert_eq!(blocks[1], vec![3, 4, 5]);
+        assert_eq!(blocks[2], vec![6, 7, 8, 9]);
+    }
+}

@@ -36,12 +36,17 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod deque;
+pub mod sync;
 
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+
+use deque::{deal, worker_loop, StealQueue};
+use sync::Mutex;
 
 /// A fixed-width scoped executor.
 ///
@@ -177,94 +182,27 @@ impl Default for Executor {
 
 type Payload = Box<dyn std::any::Any + Send + 'static>;
 
-/// One worker's claimable item indices. A `Mutex<VecDeque>` rather than a
-/// lock-free Chase–Lev deque: items here are whole lattice nodes
-/// (milliseconds of validation), so claim overhead is noise and the mutex
-/// keeps owner-pop vs. thief-steal races trivially correct.
-struct StealQueue {
-    deque: Mutex<VecDeque<usize>>,
-}
-
-impl StealQueue {
-    /// Owner and thieves alike claim from the front, one item at a time.
-    fn pop(&self) -> Option<usize> {
-        self.deque
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
-    }
-
-    /// Steals the back half of this queue (at least one item when
-    /// non-empty), leaving the front for the owner.
-    fn steal_half(&self) -> VecDeque<usize> {
-        let mut deque = self.deque.lock().unwrap_or_else(|e| e.into_inner());
-        let keep = deque.len() / 2;
-        deque.split_off(keep)
-    }
-
-    /// Appends stolen items (the thief publishes them in its own deque, so
-    /// they stay stealable by third workers).
-    fn publish(&self, items: VecDeque<usize>) {
-        self.deque
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .extend(items);
-    }
-
-    fn len(&self) -> usize {
-        self.deque.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-}
-
-/// Deals `0..n_items` to `n_workers` contiguous deques (block
-/// distribution, so neighbouring items — neighbouring lattice nodes, which
-/// tend to have similar partition sizes — start on the same worker).
-fn deal(n_items: usize, n_workers: usize) -> Vec<StealQueue> {
-    (0..n_workers)
-        .map(|w| {
-            let start = n_items * w / n_workers;
-            let end = n_items * (w + 1) / n_workers;
-            StealQueue {
-                deque: Mutex::new((start..end).collect()),
-            }
-        })
-        .collect()
-}
-
-/// Drains the worker's own deque, then steals from the fullest other
-/// deque until every deque is empty (claimed items may still be in flight
-/// on their claimers — that is fine, nothing is ever re-queued). Stolen
-/// batches are published back into the thief's own deque so third workers
-/// can re-steal them.
-fn worker_loop(own: usize, queues: &[StealQueue], abort: &AtomicBool, mut run: impl FnMut(usize)) {
-    loop {
-        if let Some(i) = queues[own].pop() {
-            if abort.load(Ordering::Relaxed) {
-                return;
-            }
-            run(i);
-            continue;
-        }
-        // Steal: pick the victim with the most remaining work.
-        let victim = (0..queues.len())
-            .filter(|&v| v != own)
-            .map(|v| (queues[v].len(), v))
-            .max();
-        match victim {
-            Some((len, v)) if len > 0 => queues[own].publish(queues[v].steal_half()),
-            _ => return, // every deque empty — all items claimed
-        }
-    }
-}
-
 /// Write-once result slots, indexed by item position.
+///
+/// This is the one `unsafe` construction in the workspace (everything
+/// else carries `#![forbid(unsafe_code)]`). Its soundness rests on the
+/// exactly-once claim property of the deque protocol in [`deque`], which
+/// is model-checked under all 2–3-thread interleavings by
+/// `tests/loom_models.rs`.
 struct Slots<R> {
     data: Vec<UnsafeCell<Option<R>>>,
 }
 
-// SAFETY: distinct workers only ever write *distinct* indices (each index
-// is claimed exactly once via a queue pop), and reads happen only after
-// all workers joined.
+// SAFETY: `Slots` is shared across worker threads only for calls to
+// `Slots::write`, whose contract requires distinct workers to write
+// *distinct* indices — each index is handed out exactly once via a
+// `StealQueue` pop (the exactly-once property model-checked in
+// `tests/loom_models.rs`) — so no two threads ever touch the same
+// `UnsafeCell`. Reads happen only in `into_vec`, after `thread::scope`
+// has joined every worker, so no write can be concurrent with a read.
+// `R: Send` suffices (no `R: Sync` needed) because no `&R` is ever
+// shared across threads: each cell's value is written by one thread and
+// moved out on the caller's thread.
 unsafe impl<R: Send> Sync for Slots<R> {}
 
 impl<R> Slots<R> {
@@ -275,9 +213,14 @@ impl<R> Slots<R> {
     }
 
     /// # Safety
-    /// `i` must be claimed by exactly one worker, and no concurrent read.
+    /// `i` must have been claimed by exactly one worker (no other thread
+    /// may call `write` with the same `i`), and no read of slot `i` may
+    /// be concurrent with this call.
     unsafe fn write(&self, i: usize, value: R) {
-        *self.data[i].get() = Some(value);
+        // SAFETY: per this function's contract the caller is the unique
+        // writer of index `i` and no reader exists until after join, so
+        // the raw pointer is the only live access to this cell.
+        unsafe { *self.data[i].get() = Some(value) };
     }
 
     fn into_vec(self) -> Vec<R> {
@@ -362,36 +305,6 @@ mod tests {
             spins
         });
         assert_eq!(out, items);
-    }
-
-    #[test]
-    fn steal_half_takes_the_back() {
-        let q = StealQueue {
-            deque: Mutex::new((0..5).collect()),
-        };
-        let stolen = q.steal_half();
-        assert_eq!(stolen, VecDeque::from(vec![2, 3, 4]));
-        assert_eq!(q.pop(), Some(0));
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), None);
-        // Stealing a single remaining item empties the queue.
-        let q1 = StealQueue {
-            deque: Mutex::new(VecDeque::from(vec![9])),
-        };
-        assert_eq!(q1.steal_half(), VecDeque::from(vec![9]));
-        assert_eq!(q1.len(), 0);
-    }
-
-    #[test]
-    fn deal_is_a_block_distribution() {
-        let queues = deal(10, 3);
-        let blocks: Vec<Vec<usize>> = queues
-            .iter()
-            .map(|q| q.deque.lock().unwrap().iter().copied().collect())
-            .collect();
-        assert_eq!(blocks[0], vec![0, 1, 2]);
-        assert_eq!(blocks[1], vec![3, 4, 5]);
-        assert_eq!(blocks[2], vec![6, 7, 8, 9]);
     }
 
     #[test]

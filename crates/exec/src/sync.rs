@@ -1,0 +1,16 @@
+//! The sync primitives the executor locks through, swappable at build
+//! time.
+//!
+//! Release builds resolve these to `std::sync` directly. With the `loom`
+//! cargo feature the same names resolve to the vendored mini-loom's
+//! instrumented shims (`vendor/loom`), which count lock acquisitions so
+//! model tests can assert the deque protocol serializes through its
+//! mutexes. Production code imports from here and never from `std::sync`
+//! for the primitives listed (enforced by the `aod-lint` D1/P1 scans
+//! staying honest about which paths are lock-guarded).
+
+#[cfg(feature = "loom")]
+pub use loom::sync::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::{Mutex, MutexGuard};

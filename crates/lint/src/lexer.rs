@@ -1,0 +1,350 @@
+//! A comment/string-aware line lexer for Rust source.
+//!
+//! The rules in this crate are lexical, not syntactic — they look for
+//! token patterns like `.unwrap()` or `HashMap` — so the one thing the
+//! lexer must get right is *where code stops and literals/comments
+//! begin*: a `panic!` inside a string or a doc comment must never fire
+//! the P1 rule, and a waiver lives in comment text, never in code. The
+//! lexer walks the file once with a small state machine covering line
+//! comments, nested block comments, string / raw-string / byte-string /
+//! char literals (and the char-literal-vs-lifetime ambiguity), and
+//! produces per-line *code text* (literal contents blanked, comments
+//! removed) and *comment text*.
+//!
+//! It also marks lines inside `#[cfg(test)] mod … { … }` blocks, which
+//! every scan rule skips — test code is allowed to `unwrap()` and
+//! iterate maps freely.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked
+    /// (quotes are kept so `"` still delimits structure).
+    pub code: String,
+    /// Comment text on this line (both `//…` and the slice of a block
+    /// comment crossing it), without the comment markers.
+    pub comment: String,
+    /// `true` when the line is inside a `#[cfg(test)] mod` block.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` while the next char is escaped.
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+    /// Inside `'…'`.
+    Char,
+}
+
+/// Lexes `source` into per-line code/comment splits (1-indexed access is
+/// `lines[line_no - 1]`).
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut escaped = false;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        // Swallow doc-comment and inner-doc markers.
+                        while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str;
+                        escaped = false;
+                    }
+                    'r' | 'b' if is_raw_or_byte_literal_start(&chars, i) => {
+                        // br#"、b"、r#"、r" — find the quote, count hashes.
+                        let mut j = i;
+                        while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                            cur.code.push(chars[j]);
+                            j += 1;
+                        }
+                        let raw = chars[i..j].contains(&'r');
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        cur.code.push('"');
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        escaped = false;
+                        i = j + 1; // past the opening quote
+                        continue;
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            cur.code.push('\'');
+                            state = State::Char;
+                            escaped = false;
+                        } else {
+                            // A lifetime: keep it as code.
+                            cur.code.push('\'');
+                        }
+                    }
+                    _ => cur.code.push(c),
+                }
+            }
+            State::LineComment => cur.comment.push(c),
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(c);
+            }
+            State::Str => {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+            }
+            State::Char => {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_modules(&mut lines);
+    lines
+}
+
+/// `r"`, `r#"`, `b"`, `br#"` … starting at `i`? (Plain identifiers ending
+/// in `r`/`b` — `for`, `var` — are excluded by the caller only passing
+/// positions where the previous char is not part of an identifier.)
+fn is_raw_or_byte_literal_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return false; // …identifier ending in r/b
+    }
+    let mut j = i;
+    let mut seen_r = false;
+    let mut seen_b = false;
+    while j < chars.len() {
+        match chars[j] {
+            'r' if !seen_r => seen_r = true,
+            'b' if !seen_b && !seen_r => seen_b = true,
+            _ => break,
+        }
+        j += 1;
+    }
+    let _ = seen_b;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (seen_r || (seen_b && j == i + 1))
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if is_ident_char(c) => chars.get(i + 2) == Some(&'\''),
+        Some(_) => true, // '(' , ' ' etc. — punctuation chars
+        None => false,
+    }
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod … { … }` blocks by brace
+/// counting on the stripped code text.
+fn mark_test_modules(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Look ahead for `mod` before any `{` or `fn` — attribute may be
+        // on a test fn (`#[cfg(test)] fn helper`) which we leave to the
+        // per-fn granularity rules don't need.
+        let mut j = i;
+        let mut is_mod = false;
+        'scan: while j < lines.len() && j < i + 4 {
+            for token in lines[j].code.split_whitespace() {
+                if token == "mod" || token.starts_with("mod") && !is_ident_like(token) {
+                    is_mod = true;
+                    break 'scan;
+                }
+                if token.contains('{') || token == "fn" || token.starts_with("fn") {
+                    break 'scan;
+                }
+            }
+            j += 1;
+        }
+        if !is_mod {
+            i += 1;
+            continue;
+        }
+        // Brace-count from the first `{` at or after line j.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut k = j;
+        while k < lines.len() {
+            for c in lines[k].code.clone().chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            lines[k].in_test = true;
+            if opened && depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        for line in lines.iter_mut().take(k).skip(i) {
+            line.in_test = true;
+        }
+        i = k + 1;
+    }
+}
+
+fn is_ident_like(token: &str) -> bool {
+    token.chars().all(is_ident_char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated_from_code() {
+        let lines = lex("let x = \"panic!()\"; // aod-lint: allow(P1) -- why\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let x"));
+        assert!(lines[0].comment.contains("aod-lint: allow(P1) -- why"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("a /* one /* two */ still */ b\n/* open\nclose */ c\n");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("one"));
+        assert!(lines[1].comment.contains("open"));
+        assert!(lines[2].code.contains('c'));
+        assert!(!lines[2].code.contains("close"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let lines = lex("let s = r#\"has \" and // not a comment\"#; x.unwrap()\n");
+        assert!(lines[0].code.contains(".unwrap()"));
+        assert!(!lines[0].code.contains("not a comment"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn byte_strings_and_escapes() {
+        let lines = lex(r#"let b = b"ab\"cd"; let c = '\''; let d = '"'; e.iter()"#);
+        assert!(lines[0].code.contains("e.iter()"));
+        assert!(!lines[0].code.contains("ab"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'a>(x: &'a str) -> &'a str { x } // 'tick\n");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(lines[0].comment.contains("'tick"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn real() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn identifiers_ending_in_r_or_b_are_not_raw_strings() {
+        let lines = lex("for x in filter\"lit\".chars() {}\nlet grab = var;\n");
+        assert!(lines[1].code.contains("grab"));
+        assert!(lines[1].code.contains("var"));
+    }
+}

@@ -1,0 +1,180 @@
+//! `aod-lint` — the workspace invariant checker.
+//!
+//! The discovery engine's load-bearing promises — bit-identical output
+//! across runs and thread counts, a versioned wire contract, a serve
+//! layer that degrades instead of panicking, vendored stubs that stay
+//! auditable — are invariants the compiler cannot check. This crate
+//! checks them lexically, with zero dependencies, so the check itself
+//! never becomes a supply-chain or build-environment liability:
+//!
+//! * **D1** — no hash-map/set iteration in determinism-critical modules
+//!   ([`rules::d1_hash_iteration`]).
+//! * **D2** — no `Instant::now` / `SystemTime` outside the registered
+//!   timing allowlist ([`rules::d2_time_sources`]).
+//! * **W1** — wire-schema additivity against the committed
+//!   `wire_schema.lock` ([`rules::w1_wire_schema`]).
+//! * **P1** — no `unwrap` / `expect` / `panic!` / slice-indexing in
+//!   serve request and job paths ([`rules::p1_panic_paths`]).
+//! * **V1** — vendored stubs gain no dependencies and no `unsafe`
+//!   ([`rules::v1_vendor_hygiene`]).
+//!
+//! Scopes live in the checked-in [`lint.toml`](crate::policy); per-site
+//! exceptions are [waivers](crate::waiver) with mandatory justifications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+use std::path::{Path, PathBuf};
+
+use policy::{in_scope, Policy};
+use report::Finding;
+
+/// Runs every rule over the workspace rooted at `root` (the directory
+/// holding `lint.toml`) and returns the sorted findings.
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let policy = load_policy(root)?;
+    let mut findings = Vec::new();
+
+    for rel in walk(root)? {
+        if rel.ends_with(".rs") {
+            scan_source(root, &rel, &policy, &mut findings)?;
+        } else if rel.ends_with("Cargo.toml") && in_scope(&rel, &policy.v1_paths) {
+            let text = read(root, &rel)?;
+            rules::v1_vendor_hygiene::check_manifest(&rel, &text, &mut findings);
+        }
+    }
+
+    check_wire_schema(root, &policy, &mut findings)?;
+    report::sort(&mut findings);
+    Ok(findings)
+}
+
+/// Regenerates the wire-schema lock from the wire source. Returns the
+/// workspace-relative lock path.
+pub fn write_schema_lock(root: &Path) -> Result<String, String> {
+    let policy = load_policy(root)?;
+    let wire = read(root, &policy.w1_wire)?;
+    let manifest =
+        rules::w1_wire_schema::extract(&wire).map_err(|e| format!("{}: {e}", policy.w1_wire))?;
+    let lock = rules::w1_wire_schema::to_lock_string(&manifest);
+    std::fs::write(root.join(&policy.w1_lock), lock)
+        .map_err(|e| format!("writing {}: {e}", policy.w1_lock))?;
+    Ok(policy.w1_lock)
+}
+
+fn load_policy(root: &Path) -> Result<Policy, String> {
+    let text = read(root, "lint.toml")?;
+    Policy::from_toml(&text)
+}
+
+fn scan_source(
+    root: &Path,
+    rel: &str,
+    policy: &Policy,
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    if policy.is_excluded(rel) {
+        return Ok(());
+    }
+    let d1 = in_scope(rel, &policy.d1_paths);
+    let d2 = !in_scope(rel, &policy.d2_allow);
+    let p1 = in_scope(rel, &policy.p1_paths) && !in_scope(rel, &policy.p1_exclude);
+    let v1 = in_scope(rel, &policy.v1_paths);
+    if !(d1 || d2 || p1 || v1) {
+        return Ok(());
+    }
+    let text = read(root, rel)?;
+    let lines = lexer::lex(&text);
+    let waivers = waiver::Waivers::parse(rel, &lines, findings);
+    if d1 {
+        rules::d1_hash_iteration::check(rel, &lines, &waivers, findings);
+    }
+    if d2 {
+        rules::d2_time_sources::check(rel, &lines, &waivers, findings);
+    }
+    if p1 {
+        rules::p1_panic_paths::check(rel, &lines, &waivers, findings);
+    }
+    if v1 {
+        rules::v1_vendor_hygiene::check(rel, &lines, &waivers, findings);
+    }
+    waivers.report_unused(rel, findings);
+    Ok(())
+}
+
+fn check_wire_schema(
+    root: &Path,
+    policy: &Policy,
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    let wire = read(root, &policy.w1_wire)?;
+    let manifest =
+        rules::w1_wire_schema::extract(&wire).map_err(|e| format!("{}: {e}", policy.w1_wire))?;
+    let lock_path = root.join(&policy.w1_lock);
+    if !lock_path.exists() {
+        findings.push(Finding::new(
+            "W1",
+            &policy.w1_lock,
+            0,
+            "wire schema lock is missing; generate it with `aod-lint --write-schema-lock`",
+        ));
+        return Ok(());
+    }
+    let lock_text = read(root, &policy.w1_lock)?;
+    match rules::w1_wire_schema::parse_lock(&lock_text) {
+        Ok(lock) => {
+            findings.extend(rules::w1_wire_schema::diff(
+                &manifest,
+                &lock,
+                &policy.w1_lock,
+            ));
+        }
+        Err(e) => findings.push(Finding::new("W1", &policy.w1_lock, 0, e)),
+    }
+    Ok(())
+}
+
+/// Workspace-relative paths (forward slashes) of every `.rs` and
+/// `Cargo.toml` file under `root`, sorted, skipping build output, VCS
+/// metadata, and hidden directories.
+fn walk(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(dir) = stack.pop() {
+        let abs = root.join(&dir);
+        let entries =
+            std::fs::read_dir(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", abs.display()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let file_type = entry.file_type().map_err(|e| format!("stat {name}: {e}"))?;
+            let rel = if dir.as_os_str().is_empty() {
+                PathBuf::from(name)
+            } else {
+                dir.join(name)
+            };
+            if file_type.is_dir() {
+                if name.starts_with('.') || name == "target" {
+                    continue;
+                }
+                stack.push(rel);
+            } else if name.ends_with(".rs") || name == "Cargo.toml" {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read(root: &Path, rel: impl AsRef<Path>) -> Result<String, String> {
+    let path = root.join(rel.as_ref());
+    std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+}

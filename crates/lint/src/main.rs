@@ -1,0 +1,81 @@
+//! The `aod-lint` binary.
+//!
+//! ```text
+//! aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]
+//! ```
+//!
+//! Findings print as `file:line: [RULE] message`. Exit codes: `0` clean
+//! (or findings without `--deny-warnings`), `1` findings under
+//! `--deny-warnings`, `2` usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut write_lock = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage("--root needs a path"),
+            },
+            "--deny-warnings" => deny = true,
+            "--write-schema-lock" => write_lock = true,
+            "--help" | "-h" => {
+                println!("usage: aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if write_lock {
+        return match aod_lint::write_schema_lock(&root) {
+            Ok(path) => {
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aod-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match aod_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("aod-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            print!("{}", aod_lint::report::render(&findings));
+            println!(
+                "aod-lint: {} finding{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("aod-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!(
+        "aod-lint: {why}\nusage: aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,229 @@
+//! The checked-in policy file, `lint.toml`.
+//!
+//! Scopes are policy, not code: which directories count as
+//! determinism-critical (D1), which modules are registered timing users
+//! (D2), which trees are request/job paths (P1) lives in one reviewed
+//! file at the workspace root rather than scattered through sources.
+//! The parser covers exactly the TOML subset the policy uses — comments,
+//! `[section]` headers, string values and (possibly multi-line) string
+//! arrays — and rejects everything else loudly; no dependency on a TOML
+//! crate, in keeping with the zero-dep rule this binary itself enforces
+//! (V1).
+
+use std::collections::BTreeMap;
+
+/// Parsed `lint.toml`, resolved into per-rule scopes.
+#[derive(Debug, Default)]
+pub struct Policy {
+    /// Path substrings excluded from every scan rule (tests, examples,
+    /// benches, build output).
+    pub exclude: Vec<String>,
+    /// D1: path prefixes of determinism-critical modules.
+    pub d1_paths: Vec<String>,
+    /// D2: path prefixes allowed to read wall-clock time.
+    pub d2_allow: Vec<String>,
+    /// P1: path prefixes of request-handling / job-thread code.
+    pub p1_paths: Vec<String>,
+    /// P1: path prefixes within `p1_paths` that are exempt.
+    pub p1_exclude: Vec<String>,
+    /// V1: path prefixes of vendored stub crates.
+    pub v1_paths: Vec<String>,
+    /// W1: the wire-encoding source file.
+    pub w1_wire: String,
+    /// W1: the committed schema lock file.
+    pub w1_lock: String,
+}
+
+impl Policy {
+    /// Parses the policy from TOML text.
+    pub fn from_toml(text: &str) -> Result<Policy, String> {
+        let raw = parse_toml_subset(text)?;
+        let list = |section: &str, key: &str| -> Vec<String> {
+            raw.get(section)
+                .and_then(|s| s.get(key))
+                .cloned()
+                .unwrap_or_default()
+        };
+        let string = |section: &str, key: &str| -> Result<String, String> {
+            match raw.get(section).and_then(|s| s.get(key)) {
+                Some(values) if values.len() == 1 => Ok(values[0].clone()),
+                Some(_) => Err(format!("[{section}] {key} must be a single string")),
+                None => Err(format!("lint.toml is missing [{section}] {key}")),
+            }
+        };
+        Ok(Policy {
+            exclude: list("lint", "exclude"),
+            d1_paths: list("rules.D1", "paths"),
+            d2_allow: list("rules.D2", "allow"),
+            p1_paths: list("rules.P1", "paths"),
+            p1_exclude: list("rules.P1", "exclude"),
+            v1_paths: list("rules.V1", "paths"),
+            w1_wire: string("rules.W1", "wire")?,
+            w1_lock: string("rules.W1", "lock")?,
+        })
+    }
+
+    /// `true` when `path` (workspace-relative, forward slashes) is
+    /// excluded from scan rules globally.
+    pub fn is_excluded(&self, path: &str) -> bool {
+        let slashed = format!("/{path}");
+        self.exclude
+            .iter()
+            .any(|pat| slashed.contains(pat.as_str()))
+    }
+}
+
+/// `true` when `path` starts with any of the prefixes.
+pub fn in_scope(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+type Sections = BTreeMap<String, BTreeMap<String, Vec<String>>>;
+
+fn parse_toml_subset(text: &str) -> Result<Sections, String> {
+    let mut sections: Sections = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |why: &str| format!("lint.toml:{}: {why}", idx + 1);
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated section header"))?;
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        if current.is_empty() {
+            return Err(err("key before any [section]"));
+        }
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multi-line array: keep consuming until the closing bracket.
+        if value.starts_with('[') {
+            while !value.contains(']') {
+                let (_, more) = lines.next().ok_or_else(|| err("unterminated array"))?;
+                value.push(' ');
+                value.push_str(strip_comment(more).trim());
+            }
+        }
+        let parsed = parse_value(&value).map_err(|why| err(&why))?;
+        sections
+            .entry(current.clone())
+            .or_default()
+            .insert(key, parsed);
+    }
+    Ok(sections)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(s) = parse_string(value) {
+        return Ok(vec![s]);
+    }
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("unsupported value `{value}` (string or string array)"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(
+            parse_string(part).ok_or_else(|| format!("array element `{part}` is not a string"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# policy
+[lint]
+exclude = ["/tests/", "/benches/"] # trailing comment
+
+[rules.D1]
+paths = [
+    "crates/core/src/wire.rs",
+    "crates/serve/src/cache.rs",
+]
+
+[rules.D2]
+allow = ["crates/bench/"]
+
+[rules.P1]
+paths = ["crates/serve/src/"]
+exclude = ["crates/serve/src/client.rs"]
+
+[rules.V1]
+paths = ["vendor/"]
+
+[rules.W1]
+wire = "crates/core/src/wire.rs"
+lock = "wire_schema.lock"
+"#;
+
+    #[test]
+    fn parses_the_full_policy_shape() {
+        let p = Policy::from_toml(SAMPLE).unwrap();
+        assert_eq!(p.exclude, vec!["/tests/", "/benches/"]);
+        assert_eq!(p.d1_paths.len(), 2);
+        assert_eq!(p.w1_lock, "wire_schema.lock");
+        assert!(p.is_excluded("crates/lint/tests/fixtures/x.rs"));
+        assert!(!p.is_excluded("crates/lint/src/lib.rs"));
+        assert!(in_scope("crates/serve/src/jobs.rs", &p.p1_paths));
+        assert!(!in_scope("crates/core/src/lib.rs", &p.p1_paths));
+    }
+
+    #[test]
+    fn missing_w1_keys_are_an_error() {
+        let e = Policy::from_toml("[rules.W1]\nwire = \"w.rs\"\n").unwrap_err();
+        assert!(e.contains("lock"), "{e}");
+    }
+
+    #[test]
+    fn bad_syntax_is_reported_with_line_numbers() {
+        for (bad, needle) in [
+            ("[open\n", "unterminated section"),
+            ("[s]\njust a line\n", "key = value"),
+            ("k = \"v\"\n", "before any"),
+            ("[s]\nk = [\"a\"\n", "unterminated array"),
+            ("[s]\nk = 42\n", "unsupported value"),
+        ] {
+            // All five fail during parsing, before the W1 presence check.
+            let e = Policy::from_toml(bad).unwrap_err();
+            assert!(e.contains(needle), "`{bad}` -> {e}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Findings and the text report.
+
+/// One rule violation (or lint-infrastructure problem) at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`D1`, `D2`, `W1`, `P1`, `V1`, or `waiver`).
+    pub rule: String,
+    /// Path relative to the workspace root, forward slashes.
+    pub file: String,
+    /// 1-indexed line (0 for whole-file findings).
+    pub line: usize,
+    /// What is wrong and, where possible, what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding at `file:line`.
+    pub fn new(
+        rule: impl Into<String>,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Sorts findings for stable output: by file, then line, then rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+}
+
+/// Renders findings in the `file:line: [RULE] message` format the golden
+/// tests snapshot.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if f.line == 0 {
+            out.push_str(&format!("{}: [{}] {}\n", f.file, f.rule, f.message));
+        } else {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,287 @@
+//! D1 — no hash-map/set **iteration** in determinism-critical modules.
+//!
+//! `HashMap`/`HashSet` iteration order varies per process (SipHash keys
+//! are random), so iterating one on a path that feeds wire output,
+//! canonical encodings, stats, or parallel merges silently breaks the
+//! bit-identical-output contract. Lookup-only use (`get`, `insert`,
+//! `contains_key`) is fine and deliberately not flagged — the rule
+//! detects the *iteration idiom*, not the type: explicit iterator
+//! methods on an identifier whose declaration mentions a hash type, and
+//! `for … in` loops over one. `AttrSetMap`/`AttrSetSet` (the workspace's
+//! hash-keyed attribute-set maps) count as hash types.
+//!
+//! Fix: iterate a sorted snapshot (`BTreeMap`, or collect-and-sort), or
+//! restructure so order never reaches the output. Waive only with an
+//! argument for order-insensitivity.
+
+use std::collections::BTreeSet;
+
+use super::{ident_before, word_positions};
+use crate::lexer::Line;
+use crate::report::Finding;
+use crate::waiver::Waivers;
+
+const RULE: &str = "D1";
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "AttrSetMap", "AttrSetSet"];
+
+/// Iterator-idiom methods whose order reaches the caller. `extend` and
+/// the lookup methods are deliberately absent.
+const ITER_METHODS: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Runs D1 over one determinism-critical file.
+pub fn check(file: &str, lines: &[Line], waivers: &Waivers, findings: &mut Vec<Finding>) {
+    let hash_idents = collect_hash_idents(lines);
+    if hash_idents.is_empty() {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        for method in ITER_METHODS {
+            for pos in positions(&line.code, method) {
+                let Some(ident) = ident_before(&line.code, pos) else {
+                    continue;
+                };
+                if hash_idents.contains(ident) && !waivers.covers(RULE, line_no) {
+                    findings.push(Finding::new(
+                        RULE,
+                        file,
+                        line_no,
+                        format!(
+                            "`{ident}{}` iterates a hash-ordered collection in a \
+                             determinism-critical module; iterate a sorted snapshot instead",
+                            method.trim_end_matches('(')
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(ident) = for_loop_receiver(&line.code) {
+            if hash_idents.contains(ident) && !waivers.covers(RULE, line_no) {
+                findings.push(Finding::new(
+                    RULE,
+                    file,
+                    line_no,
+                    format!(
+                        "`for … in {ident}` iterates a hash-ordered collection in a \
+                         determinism-critical module; iterate a sorted snapshot instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Identifiers whose declarations mention a hash type anywhere in the
+/// file: `name: HashMap<…>` (fields, params, typed lets) and
+/// `let [mut] name = HashMap::…` / `…collect::<HashMap…>` initializers.
+fn collect_hash_idents(lines: &[Line]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for line in lines {
+        let code = &line.code;
+        let mentions_hash = HASH_TYPES
+            .iter()
+            .any(|t| !word_positions(code, t).is_empty());
+        if !mentions_hash {
+            continue;
+        }
+        for t in HASH_TYPES {
+            for pos in word_positions(code, t) {
+                if let Some(ident) = declared_ident(code, pos) {
+                    idents.insert(ident.to_string());
+                }
+            }
+        }
+        // `let [mut] name = <expr mentioning HashType>` — untyped lets.
+        if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|&c| crate::lexer::is_ident_char(c))
+                .collect();
+            if !name.is_empty() {
+                idents.insert(name);
+            }
+        }
+    }
+    idents
+}
+
+/// Walks back from a hash-type occurrence over `&`, `mut`, whitespace and
+/// a possible `std::collections::` path to the `name:` pattern declaring
+/// an identifier of that type.
+fn declared_ident(code: &str, type_pos: usize) -> Option<&str> {
+    let mut i = type_pos;
+    let bytes = code.as_bytes();
+    // Skip a module path directly before the type name.
+    while i >= 2 && &code[i - 2..i] == "::" {
+        i -= 2;
+        while i > 0 && crate::lexer::is_ident_char(bytes[i - 1] as char) {
+            i -= 1;
+        }
+    }
+    loop {
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+        if i >= 4 && &code[i - 4..i] == "mut " {
+            i -= 4;
+            continue;
+        }
+        if i > 0 && matches!(bytes[i - 1] as char, '&' | '(') {
+            i -= 1;
+            continue;
+        }
+        // Walk through deref-transparent wrappers (`frozen:
+        // Arc<HashMap<…>>` iterates hash-ordered via auto-deref) but not
+        // containers (`v: Vec<HashMap<…>>` iterates in Vec order).
+        if i > 0 && bytes[i - 1] as char == '<' {
+            i -= 1;
+            let wrapper = ident_before(code, i);
+            match wrapper {
+                Some("Arc" | "Box" | "Rc") => {
+                    i -= wrapper.unwrap_or_default().len();
+                    continue;
+                }
+                _ => return None,
+            }
+        }
+        break;
+    }
+    if i == 0 || bytes[i - 1] as char != ':' {
+        return None;
+    }
+    // Exclude `::` paths (`x: foo::HashMap` was handled above; a bare
+    // `std::HashMap` here would be a path, not a declaration).
+    if i >= 2 && bytes[i - 2] as char == ':' {
+        return None;
+    }
+    ident_before(code, i - 1)
+}
+
+/// The iterated identifier of a `for … in <expr> {` line, when `<expr>`
+/// is a plain possibly-borrowed identifier or field access.
+fn for_loop_receiver(code: &str) -> Option<&str> {
+    let for_pos = word_positions(code, "for").into_iter().next()?;
+    let in_pos = word_positions(code, "in")
+        .into_iter()
+        .find(|&p| p > for_pos)?;
+    let expr = &code[in_pos + 2..];
+    let expr = expr.split('{').next().unwrap_or(expr).trim();
+    let expr = expr.trim_start_matches('&');
+    let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim();
+    // `map.iter()` is caught by the method pass; here only bare
+    // identifiers / field accesses: `map`, `self.map`.
+    if expr.is_empty()
+        || !expr
+            .chars()
+            .all(|c| crate::lexer::is_ident_char(c) || c == '.')
+    {
+        return None;
+    }
+    Some(expr.rsplit('.').next().unwrap_or(expr))
+}
+
+fn positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("f.rs", &lines, &mut findings);
+        check("f.rs", &lines, &waivers, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn iteration_on_declared_hash_idents_is_flagged() {
+        let f = run("struct S { map: HashMap<u32, u32> }\n\
+                     fn f(s: &S) { for v in s.map.values() { use_(v); } }\n\
+                     fn g(s: &mut S) { s.map.retain(|_, _| true); }\n");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("map.values"));
+    }
+
+    #[test]
+    fn for_loops_over_hash_sets_are_flagged() {
+        let f = run("let mut seen = HashSet::new();\nfor x in &seen { use_(x); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("for … in seen"));
+    }
+
+    #[test]
+    fn lookup_only_use_passes() {
+        let f = run("struct S { map: HashMap<u32, u32>, set: AttrSetSet }\n\
+             fn f(s: &mut S) {\n\
+                 s.map.insert(1, 2);\n\
+                 let _ = s.map.get(&1);\n\
+                 if s.set.contains(&x) {}\n\
+                 s.map.extend(other);\n\
+             }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_hash_collections_pass() {
+        let f = run("let v: Vec<u32> = vec![];\nfor x in &v {}\nv.iter().sum::<u32>();\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waivers_suppress_and_are_marked_used() {
+        let f = run("let pending: HashMap<u32, u32> = HashMap::new();\n\
+                     // aod-lint: allow(D1) -- drained into a sorted map, order-insensitive\n\
+                     pending.drain();\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn arc_wrapped_maps_count_but_vecs_of_maps_do_not() {
+        let f = run(
+            "struct S { frozen: Arc<HashMap<u32, u32>>, levels: Vec<HashMap<u32, u32>> }\n\
+                     fn f(s: &S) { for k in s.frozen.keys() {} }\n\
+                     fn g(s: &S) { for m in s.levels.iter() {} }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("frozen.keys"));
+    }
+
+    #[test]
+    fn attr_set_map_counts_as_hash_typed() {
+        let f =
+            run("let rhs_map: AttrSetMap<AttrSet> = x.collect();\nfor e in rhs_map.values() {}\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let f = run("struct S { map: HashMap<u32, u32> }\n\
+                     #[cfg(test)]\nmod tests {\n    fn t(s: &S) { for v in s.map.values() {} }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,88 @@
+//! D2 — no wall-clock reads outside the registered timing allowlist.
+//!
+//! `Instant::now` / `SystemTime` on an unregistered path is how
+//! nondeterminism sneaks into output (timestamps in wire JSON, timing-
+//! dependent branching in pruning decisions). The modules that
+//! legitimately measure time — the engine's timeout budget, the
+//! benchmark harness, the vendored criterion stub — are listed in
+//! `lint.toml` under `[rules.D2] allow`; everything else is flagged.
+
+use super::word_positions;
+use crate::lexer::Line;
+use crate::report::Finding;
+use crate::waiver::Waivers;
+
+const RULE: &str = "D2";
+
+const TIME_SOURCES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Runs D2 over one non-allowlisted file.
+pub fn check(file: &str, lines: &[Line], waivers: &Waivers, findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        for source in TIME_SOURCES {
+            if word_positions(&line.code, source).is_empty() {
+                continue;
+            }
+            if waivers.covers(RULE, line_no) {
+                continue;
+            }
+            findings.push(Finding::new(
+                RULE,
+                file,
+                line_no,
+                format!(
+                    "`{source}` used outside the timing allowlist; add the module to \
+                     `[rules.D2] allow` in lint.toml if it legitimately measures time"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("f.rs", &lines, &mut findings);
+        check("f.rs", &lines, &waivers, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn instant_and_system_time_are_flagged() {
+        let f = run("let t0 = Instant::now();\nlet wall = SystemTime::now();\n");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("Instant"));
+        assert!(f[1].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn mentions_in_comments_strings_and_tests_pass() {
+        let f = run("// Instant::now is banned here\nlet s = \"SystemTime\";\n\
+                     #[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unrelated_identifiers_do_not_match() {
+        let f = run("let my_instant_count = 3; let InstantX = 1;\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waivers_apply() {
+        let f = run(
+            "// aod-lint: allow(D2) -- log line timestamps never reach wire output\n\
+                     let t = SystemTime::now();\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

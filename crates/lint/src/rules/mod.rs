@@ -1,0 +1,47 @@
+//! The named rules.
+//!
+//! Each scan rule takes one file's lexed lines plus its waivers and
+//! appends findings; which files a rule sees is decided by the policy
+//! scopes in `lint.toml` (see [`crate::policy`]). W1 is different in
+//! kind — it compares a manifest extracted from `aod_core::wire` against
+//! the committed `wire_schema.lock` — and lives in [`w1_wire_schema`].
+
+pub mod d1_hash_iteration;
+pub mod d2_time_sources;
+pub mod p1_panic_paths;
+pub mod v1_vendor_hygiene;
+pub mod w1_wire_schema;
+
+use crate::lexer::is_ident_char;
+
+/// The identifier ending immediately before byte `end` of `code`
+/// (`"a.b.iter"`, end at `.iter`'s dot → `b`).
+pub(crate) fn ident_before(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(&code[start..end])
+}
+
+/// All positions where `needle` occurs in `code` as a whole word
+/// (neither side continues an identifier).
+pub(crate) fn word_positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_ident_char(code.as_bytes()[pos - 1] as char);
+        let after = pos + needle.len();
+        let after_ok = after >= code.len() || !is_ident_char(code.as_bytes()[after] as char);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}

@@ -1,0 +1,148 @@
+//! P1 — no panicking operations in request/job paths.
+//!
+//! A panic in a serve request handler or job thread either poisons the
+//! shared registry mutexes (wedging every later request) or kills a
+//! worker silently. Request-path code must return errors; the rule flags
+//! the four lexical panic idioms — `.unwrap()`, `.expect(`, `panic!(`,
+//! and slice indexing `x[…]` — in non-test code under the `[rules.P1]
+//! paths` scopes. Indexing that is provably in bounds is waived at the
+//! site with the bound stated in the justification (see
+//! `crates/serve/src/http.rs`).
+
+use crate::lexer::{is_ident_char, Line};
+use crate::report::Finding;
+use crate::waiver::Waivers;
+
+const RULE: &str = "P1";
+
+const PANIC_CALLS: [(&str, &str); 3] = [
+    (
+        ".unwrap()",
+        "`.unwrap()` panics on the error path; propagate the error instead",
+    ),
+    (
+        ".expect(",
+        "`.expect(…)` panics on the error path; propagate the error instead",
+    ),
+    (
+        "panic!(",
+        "`panic!` in a request/job path poisons shared state; return an error",
+    ),
+];
+
+/// Runs P1 over one request-path file.
+pub fn check(file: &str, lines: &[Line], waivers: &Waivers, findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        for (needle, message) in PANIC_CALLS {
+            if line.code.contains(needle) && !waivers.covers(RULE, line_no) {
+                findings.push(Finding::new(RULE, file, line_no, message));
+            }
+        }
+        for pos in index_positions(&line.code) {
+            if waivers.covers(RULE, line_no) {
+                continue;
+            }
+            let context: String = line.code[..pos].chars().rev().take(16).collect();
+            let context: String = context.chars().rev().collect();
+            findings.push(Finding::new(
+                RULE,
+                file,
+                line_no,
+                format!(
+                    "slice index after `{}` panics when out of bounds; use `.get(…)` \
+                     or waive with the bound that makes it infallible",
+                    context.trim_start()
+                ),
+            ));
+        }
+    }
+}
+
+/// Positions of `[` that index an expression: the previous
+/// non-whitespace char continues a value (identifier, `)`, or `]`).
+/// Array literals (`= [`), types (`&[u8]`), attributes (`#[…]`) and
+/// macros (`vec![`) all follow punctuation and never match.
+fn index_positions(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let mut back = pos;
+        while back > 0 && (bytes[back - 1] as char).is_whitespace() {
+            back -= 1;
+        }
+        if back == 0 {
+            continue;
+        }
+        let prev = bytes[back - 1] as char;
+        if is_ident_char(prev) || prev == ')' || prev == ']' {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("f.rs", &lines, &mut findings);
+        check("f.rs", &lines, &waivers, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn the_four_panic_idioms_are_flagged() {
+        let f = run("let a = x.unwrap();\nlet b = y.expect(\"msg\");\n\
+                     panic!(\"boom\");\nlet c = buf[0];\n");
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_pass() {
+        let f = run("let a = x.unwrap_or(0);\nlet b = x.unwrap_or_else(|| 0);\n\
+                     let c = x.unwrap_or_default();\nlet d = m.get(&k);\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_index_brackets_pass() {
+        let f = run("#[derive(Debug)]\nstruct S { v: Vec<[u8; 4]> }\n\
+                     fn f(x: &[u8]) -> Vec<u8> { vec![1, 2] }\nlet a = [0u8; 16];\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_call_results_and_chained_indexing_are_flagged() {
+        let f = run("let a = make()[0];\nlet b = grid[i][j];\n");
+        assert_eq!(f.len(), 3, "{f:?}"); // make()[…], grid[…], …][…]
+    }
+
+    #[test]
+    fn panics_in_strings_comments_and_tests_pass() {
+        let f = run("// panic!(\"doc\") and x.unwrap() in prose\n\
+                     let s = \"panic!()\";\n\
+                     #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waivers_apply_per_site() {
+        let f = run(
+            "// aod-lint: allow(P1) -- n <= chunk.len() per Read's contract\n\
+                     buf.extend_from_slice(&chunk[..n]);\nlet other = raw[0];\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+}

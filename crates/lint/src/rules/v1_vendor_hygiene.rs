@@ -1,0 +1,128 @@
+//! V1 — vendored stubs stay dependency-free and safe.
+//!
+//! The `vendor/` crates exist because the build environment is offline:
+//! each is a hand-written stand-in for a crates.io dependency. Two
+//! invariants keep them trustworthy: they must not grow dependencies of
+//! their own (a stub that needs another stub defeats the point and
+//! breaks the zero-network build), and they must not contain `unsafe`
+//! (a stub is the one place nobody audits twice). The rule scans vendor
+//! `.rs` files for the `unsafe` token and vendor `Cargo.toml`s for
+//! entries under any `*dependencies*` section.
+
+use super::word_positions;
+use crate::lexer::Line;
+use crate::report::Finding;
+use crate::waiver::Waivers;
+
+const RULE: &str = "V1";
+
+/// Runs V1 over one vendor source file. Test code is *not* exempt here:
+/// the no-`unsafe` invariant covers the whole stub.
+pub fn check(file: &str, lines: &[Line], waivers: &Waivers, findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        for _ in word_positions(&line.code, "unsafe") {
+            if line.code.contains("forbid(unsafe_code)") {
+                continue; // the attribute that *bans* unsafe
+            }
+            if waivers.covers(RULE, line_no) {
+                continue;
+            }
+            findings.push(Finding::new(
+                RULE,
+                file,
+                line_no,
+                "`unsafe` in a vendored stub; stubs must stay auditable-at-a-glance",
+            ));
+        }
+    }
+}
+
+/// Checks a vendor `Cargo.toml` for dependency entries. `text` is the
+/// raw manifest; any `key = …` line under a section whose name contains
+/// `dependencies` is a finding.
+pub fn check_manifest(file: &str, text: &str, findings: &mut Vec<Finding>) {
+    let mut in_deps = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[') {
+            let name = section.strip_suffix(']').unwrap_or(section).trim();
+            in_deps = name.contains("dependencies");
+            continue;
+        }
+        if in_deps && line.contains('=') {
+            let dep = line.split('=').next().unwrap_or("").trim();
+            findings.push(Finding::new(
+                RULE,
+                file,
+                idx + 1,
+                format!("vendored stub declares dependency `{dep}`; stubs must be dependency-free"),
+            ));
+        }
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        let waivers = Waivers::parse("v.rs", &lines, &mut findings);
+        check("v.rs", &lines, &waivers, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unsafe_blocks_and_fns_are_flagged_even_in_tests() {
+        let f = run("unsafe fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe {} }\n}\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn the_forbid_attribute_and_prose_pass() {
+        let f = run("#![forbid(unsafe_code)]\n// unsafe is discussed here\nlet s = \"unsafe\";\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dependency_entries_are_flagged() {
+        let mut f = Vec::new();
+        check_manifest(
+            "vendor/x/Cargo.toml",
+            "[package]\nname = \"x\" # has = sign? no\n\n[dependencies]\nlibc = \"0.2\"\n\n[dev-dependencies]\nserde = { version = \"1\" }\n",
+            &mut f,
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("libc"));
+        assert!(f[1].message.contains("serde"));
+    }
+
+    #[test]
+    fn empty_dependency_sections_and_other_sections_pass() {
+        let mut f = Vec::new();
+        check_manifest(
+            "vendor/x/Cargo.toml",
+            "[package]\nname = \"x\"\nversion = \"1.0.0\"\n\n[lib]\nname = \"x\"\n\n[dependencies]\n",
+            &mut f,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,553 @@
+//! W1 — wire-schema additivity against `wire_schema.lock`.
+//!
+//! `aod_core::wire` is a versioned public contract: `aod-serve` clients
+//! parse its field names. The rule extracts a schema manifest straight
+//! from the wire source — every field name passed to a `JsonObject`
+//! emit method, every enum wire name (`=> "snake_case"` match arms and
+//! literal `.str` values), and the declared `SCHEMA_VERSION` — and
+//! compares it against the committed lock file:
+//!
+//! * identical → pass.
+//! * same version, **only additions** → stale lock; regenerate with
+//!   `aod-lint --write-schema-lock` (additive change, clients unaffected).
+//! * same version, **anything removed or renamed** → breaking: restore
+//!   the field or bump `SCHEMA_VERSION` and regenerate.
+//! * version differs from the lock → the bump acknowledged a breaking
+//!   change; regenerate the lock to record the new contract.
+//!
+//! The extractor is lexical by design: it strips comments but *keeps*
+//! string literals (field names live in strings), tracks `impl` blocks
+//! by brace depth to attribute fields to types, and stops at the
+//! `#[cfg(test)]` module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::Finding;
+
+const RULE: &str = "W1";
+
+/// The wire contract as extracted from source or parsed from the lock:
+/// per-type field names and per-type enum wire names, plus the declared
+/// schema version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The `SCHEMA_VERSION` constant.
+    pub version: u64,
+    /// JSON field names emitted per type.
+    pub fields: BTreeMap<String, BTreeSet<String>>,
+    /// Enum wire names (match-arm and literal `.str` values) per type.
+    pub names: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// `JsonObject` emit methods whose first argument is a field name.
+const EMIT_METHODS: [&str; 7] = [
+    ".str(",
+    ".num_u64(",
+    ".num_f64(",
+    ".bool(",
+    ".raw(",
+    ".null(",
+    ".opt_u64(",
+];
+
+/// Extracts the manifest from the wire module's source text.
+pub fn extract(source: &str) -> Result<Manifest, String> {
+    let mut manifest = Manifest {
+        version: 0,
+        fields: BTreeMap::new(),
+        names: BTreeMap::new(),
+    };
+    let mut version = None;
+    let mut depth: i64 = 0;
+    let mut current_type: Option<String> = None;
+
+    for line in code_lines(source) {
+        let code = line.code.trim();
+        if depth == 0 && code.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if depth == 0 {
+            if let Some(ty) = impl_type(code) {
+                current_type = Some(ty.to_string());
+            }
+        }
+        if code.contains("SCHEMA_VERSION") && code.contains('=') {
+            if let Some(v) = trailing_u64(code) {
+                version = Some(v);
+            }
+        }
+        if let Some(ty) = &current_type {
+            for method in EMIT_METHODS {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(method) {
+                    let args_at = from + rel + method.len();
+                    if let Some((field, after)) = string_literal_at(&code[args_at..]) {
+                        manifest
+                            .fields
+                            .entry(ty.clone())
+                            .or_default()
+                            .insert(field.to_string());
+                        // `.str("event", "oc_found")`: a literal second
+                        // argument is an enum wire name.
+                        if method == ".str(" {
+                            let rest = after.trim_start();
+                            if let Some(rest) = rest.strip_prefix(',') {
+                                if let Some((name, _)) = string_literal_at(rest.trim_start()) {
+                                    manifest
+                                        .names
+                                        .entry(ty.clone())
+                                        .or_default()
+                                        .insert(name.to_string());
+                                }
+                            }
+                        }
+                    }
+                    from = args_at;
+                }
+            }
+            // `PruneRule::KeyPruning => "key_pruning",` wire-name arms.
+            let mut from = 0;
+            while let Some(rel) = code[from..].find("=> ") {
+                let after = &code[from + rel + 3..];
+                if let Some((name, _)) = string_literal_at(after) {
+                    manifest
+                        .names
+                        .entry(ty.clone())
+                        .or_default()
+                        .insert(name.to_string());
+                }
+                from += rel + 3;
+            }
+        }
+        depth += line.open;
+        if depth == 0 {
+            current_type = None;
+        }
+    }
+    manifest.version = version.ok_or("wire source declares no SCHEMA_VERSION constant")?;
+    Ok(manifest)
+}
+
+/// Renders the manifest in the committed lock format.
+pub fn to_lock_string(m: &Manifest) -> String {
+    let mut out = String::from(
+        "# wire_schema.lock — the aod wire contract, extracted from the wire module.\n\
+         # Generated by `aod-lint --write-schema-lock`; do not edit by hand.\n",
+    );
+    out.push_str(&format!("schema_version = {}\n", m.version));
+    for (ty, fields) in &m.fields {
+        let list: Vec<&str> = fields.iter().map(String::as_str).collect();
+        out.push_str(&format!("fields {ty} = {}\n", list.join(",")));
+    }
+    for (ty, names) in &m.names {
+        let list: Vec<&str> = names.iter().map(String::as_str).collect();
+        out.push_str(&format!("names {ty} = {}\n", list.join(",")));
+    }
+    out
+}
+
+/// Parses a lock file written by [`to_lock_string`].
+pub fn parse_lock(text: &str) -> Result<Manifest, String> {
+    let mut version = None;
+    let mut fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut names: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |why: &str| format!("wire_schema.lock:{}: {why}", idx + 1);
+        if let Some(v) = line.strip_prefix("schema_version") {
+            let v = v
+                .trim()
+                .strip_prefix('=')
+                .ok_or_else(|| err("expected `=`"))?;
+            version = Some(
+                v.trim()
+                    .parse::<u64>()
+                    .map_err(|_| err("schema_version is not an integer"))?,
+            );
+            continue;
+        }
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err("expected `fields <Type> = …` or `names <Type> = …`"))?;
+        let map = match kind {
+            "fields" => &mut fields,
+            "names" => &mut names,
+            _ => return Err(err(&format!("unknown entry kind `{kind}`"))),
+        };
+        let (ty, list) = rest
+            .split_once('=')
+            .ok_or_else(|| err("expected `= a,b,c`"))?;
+        let set: BTreeSet<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        map.insert(ty.trim().to_string(), set);
+    }
+    Ok(Manifest {
+        version: version.ok_or("wire_schema.lock has no schema_version line")?,
+        fields,
+        names,
+    })
+}
+
+/// Compares the manifest extracted from source against the committed
+/// lock, reporting findings against `lock_file`.
+pub fn diff(current: &Manifest, lock: &Manifest, lock_file: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if current == lock {
+        return findings;
+    }
+    if current.version != lock.version {
+        findings.push(Finding::new(
+            RULE,
+            lock_file,
+            0,
+            format!(
+                "SCHEMA_VERSION is {} but the lock records {}; the bump acknowledges a \
+                 contract change — regenerate with `aod-lint --write-schema-lock`",
+                current.version, lock.version
+            ),
+        ));
+        return findings;
+    }
+    let removed = missing_entries(lock, current);
+    let added = missing_entries(current, lock);
+    for entry in &removed {
+        findings.push(Finding::new(
+            RULE,
+            lock_file,
+            0,
+            format!(
+                "breaking wire change: {entry} was removed or renamed without a \
+                 SCHEMA_VERSION bump; restore it, or bump SCHEMA_VERSION in the wire \
+                 module and regenerate the lock"
+            ),
+        ));
+    }
+    if removed.is_empty() && !added.is_empty() {
+        findings.push(Finding::new(
+            RULE,
+            lock_file,
+            0,
+            format!(
+                "lock is stale: {} new (additive, non-breaking); regenerate with \
+                 `aod-lint --write-schema-lock`",
+                added.join(", ")
+            ),
+        ));
+    }
+    findings
+}
+
+/// Entries of `a` absent from `b`, rendered `fields Type.name` /
+/// `names Type.name`.
+fn missing_entries(a: &Manifest, b: &Manifest) -> Vec<String> {
+    let mut out = Vec::new();
+    for (kind, a_map, b_map) in [
+        ("field", &a.fields, &b.fields),
+        ("name", &a.names, &b.names),
+    ] {
+        for (ty, entries) in a_map {
+            let present = b_map.get(ty);
+            for entry in entries {
+                if !present.is_some_and(|s| s.contains(entry)) {
+                    out.push(format!("{kind} `{ty}.{entry}`"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One comment-stripped source line with string literals kept, plus the
+/// line's net brace delta counted outside strings.
+struct SrcLine {
+    code: String,
+    open: i64,
+}
+
+/// Strips comments, keeps strings, counts braces.
+fn code_lines(source: &str) -> Vec<SrcLine> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum S {
+        Code,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = SrcLine {
+        code: String::new(),
+        open: 0,
+    };
+    let mut state = S::Code;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == S::LineComment {
+                state = S::Code;
+            }
+            lines.push(std::mem::replace(
+                &mut cur,
+                SrcLine {
+                    code: String::new(),
+                    open: 0,
+                },
+            ));
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            S::Code => match c {
+                '/' if next == Some('/') => {
+                    state = S::LineComment;
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = S::Block(1);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = S::Str;
+                    escaped = false;
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    let prev_ident = i > 0 && crate::lexer::is_ident_char(chars[i - 1]);
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if !prev_ident && chars.get(j) == Some(&'"') {
+                        cur.code.push('r');
+                        cur.code.push('"');
+                        state = S::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    cur.code.push(c);
+                }
+                '\'' => {
+                    let literal = matches!(next, Some('\\'))
+                        || next.is_some_and(|n| {
+                            !crate::lexer::is_ident_char(n) || chars.get(i + 2) == Some(&'\'')
+                        });
+                    cur.code.push('\'');
+                    if literal {
+                        state = S::Char;
+                        escaped = false;
+                    }
+                }
+                _ => {
+                    if c == '{' {
+                        cur.open += 1;
+                    } else if c == '}' {
+                        cur.open -= 1;
+                    }
+                    cur.code.push(c);
+                }
+            },
+            S::LineComment => {}
+            S::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        S::Code
+                    } else {
+                        S::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = S::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+            }
+            S::Str => {
+                cur.code.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    state = S::Code;
+                }
+            }
+            S::RawStr(hashes) => {
+                if c == '"' && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#')) {
+                    cur.code.push('"');
+                    state = S::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                cur.code.push(c);
+            }
+            S::Char => {
+                cur.code.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '\'' {
+                    state = S::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cur.code.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// `impl Foo {` / `impl Trait for Foo {` → `Foo`.
+fn impl_type(code: &str) -> Option<&str> {
+    let rest = code.strip_prefix("impl ")?;
+    let rest = match rest.split_once(" for ") {
+        Some((_, target)) => target,
+        None => rest,
+    };
+    let ty = rest
+        .split(|c: char| !crate::lexer::is_ident_char(c))
+        .next()?;
+    (!ty.is_empty()).then_some(ty)
+}
+
+/// The integer at the end of a `… = N;` line.
+fn trailing_u64(code: &str) -> Option<u64> {
+    let (_, value) = code.rsplit_once('=')?;
+    value.trim().trim_end_matches(';').trim().parse().ok()
+}
+
+/// The content of a `"…"` literal starting exactly at the head of `s`,
+/// plus the text after its closing quote.
+fn string_literal_at(s: &str) -> Option<(&str, &str)> {
+    let rest = s.strip_prefix('"')?;
+    let close = rest.find('"')?;
+    Some((&rest[..close], &rest[close + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+//! Wire docs mentioning `"fake":"fields"` that must not be extracted.
+pub const SCHEMA_VERSION: u64 = 3;
+
+impl Rule {
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Rule::A => "alpha",
+            Rule::B => "beta",
+        }
+    }
+}
+
+impl Dep {
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.num_u64("level", self.level as u64)
+            .raw("factor", &fmt_f64(self.factor))
+            .bool("done", self.done)
+            .null("stop")
+            .str("event", "dep_found")
+            .str("rule", rule.wire_name());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() { obj.str("not_a_field", "nope"); }
+}
+"#;
+
+    fn sample() -> Manifest {
+        extract(SAMPLE).unwrap()
+    }
+
+    #[test]
+    fn extracts_version_fields_and_names_per_type() {
+        let m = sample();
+        assert_eq!(m.version, 3);
+        let dep: Vec<&str> = m.fields["Dep"].iter().map(String::as_str).collect();
+        assert_eq!(dep, ["done", "event", "factor", "level", "rule", "stop"]);
+        let rule: Vec<&str> = m.names["Rule"].iter().map(String::as_str).collect();
+        assert_eq!(rule, ["alpha", "beta"]);
+        let dep_names: Vec<&str> = m.names["Dep"].iter().map(String::as_str).collect();
+        assert_eq!(dep_names, ["dep_found"]);
+        assert!(!m.fields.contains_key("tests"), "test module must be cut");
+    }
+
+    #[test]
+    fn lock_round_trips_exactly() {
+        let m = sample();
+        let lock = to_lock_string(&m);
+        assert_eq!(parse_lock(&lock).unwrap(), m);
+        assert!(diff(&m, &parse_lock(&lock).unwrap(), "wire_schema.lock").is_empty());
+    }
+
+    #[test]
+    fn field_removal_without_a_version_bump_is_breaking() {
+        let lock = parse_lock(&to_lock_string(&sample())).unwrap();
+        let edited = SAMPLE.replace(".bool(\"done\", self.done)", "");
+        let current = extract(&edited).unwrap();
+        let f = diff(&current, &lock, "wire_schema.lock");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("breaking"));
+        assert!(f[0].message.contains("`Dep.done`"));
+    }
+
+    #[test]
+    fn rename_reports_the_removal_not_the_addition() {
+        let lock = parse_lock(&to_lock_string(&sample())).unwrap();
+        let edited = SAMPLE.replace("\"factor\"", "\"scale\"");
+        let f = diff(&extract(&edited).unwrap(), &lock, "wire_schema.lock");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`Dep.factor`"));
+    }
+
+    #[test]
+    fn additions_only_ask_for_regeneration() {
+        let lock = parse_lock(&to_lock_string(&sample())).unwrap();
+        let edited = SAMPLE.replace(".null(\"stop\")", ".null(\"stop\").num_u64(\"extra\", 0)");
+        let f = diff(&extract(&edited).unwrap(), &lock, "wire_schema.lock");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("stale"));
+        assert!(f[0].message.contains("`Dep.extra`"));
+    }
+
+    #[test]
+    fn version_bump_asks_for_regeneration_and_suppresses_removals() {
+        let lock = parse_lock(&to_lock_string(&sample())).unwrap();
+        let edited = SAMPLE
+            .replace("SCHEMA_VERSION: u64 = 3", "SCHEMA_VERSION: u64 = 4")
+            .replace(".bool(\"done\", self.done)", "");
+        let f = diff(&extract(&edited).unwrap(), &lock, "wire_schema.lock");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("regenerate"));
+    }
+
+    #[test]
+    fn missing_version_is_an_error() {
+        assert!(extract("impl X { }").is_err());
+        assert!(parse_lock("fields X = a\n").is_err());
+    }
+}

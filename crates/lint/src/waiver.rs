@@ -1,0 +1,186 @@
+//! Per-line waivers: `// aod-lint: allow(RULE[,RULE]) -- justification`.
+//!
+//! A waiver suppresses findings of the listed rules on its own line and
+//! the line directly below it (so it can sit above the code it excuses).
+//! The justification after ` -- ` is mandatory: a waiver is a reviewed
+//! exception, and the reviewer needs the why in the diff. Malformed
+//! waivers and waivers that no longer suppress anything are findings
+//! themselves — stale exceptions are how invariants rot.
+
+use crate::lexer::Line;
+use crate::report::Finding;
+
+/// One parsed waiver comment.
+#[derive(Debug)]
+pub struct Waiver {
+    /// 1-indexed line the waiver comment sits on.
+    pub line: usize,
+    /// Upper-cased rule names it allows.
+    pub rules: Vec<String>,
+    /// Set when a finding was suppressed by this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// The waivers of one file plus any malformed-waiver findings.
+#[derive(Debug, Default)]
+pub struct Waivers {
+    waivers: Vec<Waiver>,
+}
+
+const MARKER: &str = "aod-lint:";
+
+impl Waivers {
+    /// Parses every waiver comment in `lines`; malformed ones are
+    /// reported against `file`.
+    pub fn parse(file: &str, lines: &[Line], findings: &mut Vec<Finding>) -> Waivers {
+        let mut waivers = Vec::new();
+        for (idx, line) in lines.iter().enumerate() {
+            // The directive must lead the comment; `aod-lint:` mid-prose
+            // (say, in this module's own docs) is not a waiver.
+            let Some(rest) = line.comment.trim_start().strip_prefix(MARKER) else {
+                continue;
+            };
+            let line_no = idx + 1;
+            let rest = rest.trim();
+            match parse_directive(rest) {
+                Ok(rules) => waivers.push(Waiver {
+                    line: line_no,
+                    rules,
+                    used: std::cell::Cell::new(false),
+                }),
+                Err(why) => findings.push(Finding::new(
+                    "waiver",
+                    file,
+                    line_no,
+                    format!("malformed waiver: {why} (expected `aod-lint: allow(RULE) -- justification`)"),
+                )),
+            }
+        }
+        Waivers { waivers }
+    }
+
+    /// `true` (and marks the waiver used) when a finding of `rule` at
+    /// `line` is covered by a waiver on the same or the previous line.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        for w in &self.waivers {
+            if (w.line == line || w.line + 1 == line)
+                && w.rules.iter().any(|r| r.eq_ignore_ascii_case(rule))
+            {
+                w.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reports every waiver that never suppressed anything.
+    pub fn report_unused(&self, file: &str, findings: &mut Vec<Finding>) {
+        for w in &self.waivers {
+            if !w.used.get() {
+                findings.push(Finding::new(
+                    "waiver",
+                    file,
+                    w.line,
+                    format!(
+                        "unused waiver for {}: nothing to suppress here — remove it",
+                        w.rules.join(",")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn parse_directive(rest: &str) -> Result<Vec<String>, String> {
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or("missing `allow`")?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or("missing `(`")?;
+    let close = rest.find(')').ok_or("missing `)`")?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".to_string());
+    }
+    for r in &rules {
+        if !r.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(format!("invalid rule name `{r}`"));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let justification = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err("missing ` -- justification`".to_string());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Waivers, Vec<Finding>) {
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        let w = Waivers::parse("f.rs", &lines, &mut findings);
+        (w, findings)
+    }
+
+    #[test]
+    fn waiver_covers_same_and_next_line() {
+        let (w, findings) = parse(
+            "// aod-lint: allow(D1,P1) -- bounded map, order-insensitive\nx.iter();\ny.iter();\n",
+        );
+        assert!(findings.is_empty());
+        assert!(w.covers("d1", 1));
+        assert!(w.covers("P1", 2));
+        assert!(!w.covers("P1", 3));
+        assert!(!w.covers("D2", 2));
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let (_, findings) = parse("// aod-lint: allow(P1)\n");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn garbage_directives_are_malformed() {
+        for bad in [
+            "// aod-lint: deny(P1) -- nope\n",
+            "// aod-lint: allow() -- empty\n",
+            "// aod-lint: allow(P1 -- unclosed\n",
+        ] {
+            let (_, findings) = parse(bad);
+            assert_eq!(findings.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn unused_waivers_are_reported() {
+        let (w, mut findings) = parse("// aod-lint: allow(D1) -- stale\n");
+        w.report_unused("f.rs", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn marker_mid_prose_is_not_a_directive() {
+        let (w, findings) = parse("// docs discussing `aod-lint: allow(RULE[,RULE])` syntax\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(!w.covers("RULE", 1));
+    }
+
+    #[test]
+    fn waivers_in_code_or_strings_do_not_count() {
+        let (w, findings) = parse("let s = \"aod-lint: allow(P1) -- in a string\";\n");
+        assert!(findings.is_empty());
+        assert!(!w.covers("P1", 1));
+    }
+}

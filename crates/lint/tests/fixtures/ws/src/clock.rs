@@ -1,0 +1,12 @@
+//! Unregistered clock reader: D2 flags both sites.
+
+pub fn stamp() -> u64 {
+    let wall = std::time::SystemTime::now();
+    wall.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn tick() -> std::time::Instant {
+    std::time::Instant::now()
+}

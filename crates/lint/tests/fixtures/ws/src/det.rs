@@ -1,0 +1,36 @@
+//! Determinism-critical fixture: one flagged iteration, one waived,
+//! one stale waiver, one malformed waiver.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    by_name: HashMap<String, u32>,
+}
+
+impl Index {
+    pub fn names(&self) -> Vec<&str> {
+        self.by_name.keys().map(String::as_str).collect()
+    }
+
+    pub fn total(&self) -> u32 {
+        // aod-lint: allow(D1) -- commutative sum, order-insensitive
+        self.by_name.values().sum()
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        // aod-lint: allow(D1) -- stale: lookups were never flagged
+        self.by_name.get(name).copied()
+    }
+}
+
+// aod-lint: allow(D1
+pub fn noop() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let m: super::HashMap<u32, u32> = super::HashMap::new();
+        for _ in m.iter() {}
+    }
+}

@@ -1,0 +1,5 @@
+//! Exempt from P1 via `[rules.P1] exclude`.
+
+pub fn cli_helper(args: &[String]) -> String {
+    args[0].clone()
+}

@@ -1,0 +1,14 @@
+//! Request-path fixture: P1 flags the panicking idioms, honors the
+//! justified waiver.
+
+pub fn handle(body: &[u8], routes: &std::collections::HashMap<String, u32>) -> u32 {
+    let first = body[0];
+    let name = std::str::from_utf8(body).unwrap();
+    let route = routes.get(name).expect("route");
+    if *route == 0 {
+        panic!("no route");
+    }
+    // aod-lint: allow(P1) -- body is non-empty: checked by the dispatcher
+    let checked = body[0];
+    u32::from(first) + route + u32::from(checked)
+}

@@ -1,0 +1,6 @@
+//! Globally excluded via `[lint] exclude = ["/skipped/"]`.
+
+pub fn anything_goes() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}

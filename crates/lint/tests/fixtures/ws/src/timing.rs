@@ -1,0 +1,9 @@
+//! Registered timing user: the D2 allowlist covers this file.
+
+pub fn elapsed_ms(start: std::time::Instant) -> u64 {
+    start.elapsed().as_millis() as u64
+}
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,23 @@
+//! Mini wire module; the committed fixture lock records a `retired`
+//! field this source no longer emits, so W1 reports a breaking change.
+
+pub const SCHEMA_VERSION: u64 = 2;
+
+impl Reply {
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.num_u64("code", self.code)
+            .str("kind", "reply")
+            .bool("done", self.done);
+        obj.finish()
+    }
+}
+
+impl Status {
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Failed => "failed",
+        }
+    }
+}

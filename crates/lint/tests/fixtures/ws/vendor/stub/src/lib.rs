@@ -1,0 +1,5 @@
+//! Vendored stub that violates V1 in both ways the rule covers.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

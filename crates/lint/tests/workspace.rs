@@ -1,0 +1,78 @@
+//! End-to-end lint tests: the golden fixture workspace, the real
+//! workspace's cleanliness, and the committed wire-schema lock.
+
+use std::path::{Path, PathBuf};
+
+use aod_lint::rules::w1_wire_schema;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every rule, waiver state, and scope boundary exercised at once; the
+/// rendered report is compared byte-for-byte.
+#[test]
+fn fixture_workspace_matches_golden_report() {
+    let findings = aod_lint::run(&fixture_root()).expect("fixture run");
+    let expected =
+        std::fs::read_to_string(fixture_root().join("../expected.txt")).expect("read expected.txt");
+    let actual = aod_lint::report::render(&findings);
+    assert_eq!(
+        actual, expected,
+        "\n=== actual report ===\n{actual}=== expected ===\n{expected}"
+    );
+}
+
+/// The invariant the CI `lint` job enforces: this workspace has zero
+/// findings (violations are fixed or carry justified waivers).
+#[test]
+fn real_workspace_is_clean() {
+    let findings = aod_lint::run(&repo_root()).expect("workspace run");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        aod_lint::report::render(&findings)
+    );
+}
+
+/// The committed lock is exactly what `--write-schema-lock` would write
+/// today, and it parses back to the extracted manifest.
+#[test]
+fn committed_lock_round_trips_with_wire_source() {
+    let wire =
+        std::fs::read_to_string(repo_root().join("crates/core/src/wire.rs")).expect("read wire.rs");
+    let manifest = w1_wire_schema::extract(&wire).expect("extract");
+    let committed = std::fs::read_to_string(repo_root().join("wire_schema.lock"))
+        .expect("read wire_schema.lock");
+    assert_eq!(
+        w1_wire_schema::to_lock_string(&manifest),
+        committed,
+        "wire_schema.lock is stale; regenerate with `aod-lint --write-schema-lock`"
+    );
+    assert_eq!(
+        w1_wire_schema::parse_lock(&committed).expect("parse lock"),
+        manifest
+    );
+}
+
+/// Removing a real wire field without a SCHEMA_VERSION bump is caught
+/// against the committed lock.
+#[test]
+fn removing_a_real_wire_field_is_breaking() {
+    let wire =
+        std::fs::read_to_string(repo_root().join("crates/core/src/wire.rs")).expect("read wire.rs");
+    let edited = wire.replace(".num_u64(\"n_rows\", self.n_rows as u64)", "");
+    assert_ne!(edited, wire, "the n_rows emit site moved; update this test");
+    let current = w1_wire_schema::extract(&edited).expect("extract");
+    let committed = std::fs::read_to_string(repo_root().join("wire_schema.lock"))
+        .expect("read wire_schema.lock");
+    let lock = w1_wire_schema::parse_lock(&committed).expect("parse lock");
+    let findings = w1_wire_schema::diff(&current, &lock, "wire_schema.lock");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("breaking"));
+    assert!(findings[0].message.contains("`DiscoveryResult.n_rows`"));
+}

@@ -20,6 +20,7 @@
 //! assert!(count_inversions(&seq) > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod inversions;

@@ -111,6 +111,7 @@ impl PartitionCache {
     pub fn freeze(&mut self) -> FrozenPartitions {
         if !self.pending.is_empty() {
             let frozen = Arc::make_mut(&mut self.frozen);
+            // aod-lint: allow(D1) -- drained into another keyed map; iteration order is never observed
             frozen.extend(self.pending.drain());
         }
         FrozenPartitions {
@@ -178,7 +179,9 @@ impl PartitionCache {
 
     /// Drops all cached partitions of level `< min_level`.
     pub fn retain_min_level(&mut self, min_level: usize) {
+        // aod-lint: allow(D1) -- retain by per-key predicate, order-insensitive
         self.pending.retain(|set, _| set.len() >= min_level);
+        // aod-lint: allow(D1) -- existence check (`any`), order-insensitive
         if self.frozen.keys().any(|set| set.len() < min_level) {
             Arc::make_mut(&mut self.frozen).retain(|set, _| set.len() >= min_level);
         }
@@ -198,6 +201,7 @@ impl PartitionCache {
     pub fn cached_sets(&self) -> Vec<AttrSet> {
         self.frozen
             .keys()
+            // aod-lint: allow(D1) -- documented unordered; the eviction tests sort before comparing
             .chain(self.pending.keys())
             .copied()
             .collect()
@@ -208,6 +212,7 @@ impl PartitionCache {
     pub fn approx_bytes(&self) -> usize {
         self.frozen
             .values()
+            // aod-lint: allow(D1) -- commutative sum over values, order-insensitive
             .chain(self.pending.values())
             .map(|p| p.n_grouped_rows() * 4 + (p.n_classes() + 1) * 4)
             .sum()

@@ -20,6 +20,7 @@
 //! assert_eq!(pi_pos.n_singletons(), 1); // {t9} is stripped
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attrset;

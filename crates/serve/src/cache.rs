@@ -21,6 +21,7 @@
 //! protects against a name being deregistered and re-registered with
 //! different content.
 
+use crate::sync::lock_or_recover;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,7 +68,7 @@ impl ResultCache {
 
     /// Looks up a completed run, bumping the hit/miss counters.
     pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedRun>> {
-        let found = self.inner.lock().expect("cache lock").map.get(key).cloned();
+        let found = lock_or_recover(&self.inner).map.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -79,7 +80,7 @@ impl ResultCache {
     /// determinism, so losing a race is harmless), evicting the oldest
     /// entry beyond [`MAX_CACHED_RUNS`].
     pub fn store(&self, key: CacheKey, run: CachedRun) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = lock_or_recover(&self.inner);
         if inner.map.contains_key(&key) {
             return;
         }
@@ -105,7 +106,7 @@ impl ResultCache {
 
     /// Number of cached runs.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        lock_or_recover(&self.inner).map.len()
     }
 
     /// `true` when nothing is cached yet.

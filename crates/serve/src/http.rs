@@ -92,9 +92,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         if n == 0 {
             return Err(HttpError::bad("connection closed mid-request"));
         }
+        // aod-lint: allow(P1) -- n <= chunk.len() per Read's contract
         buf.extend_from_slice(&chunk[..n]);
     };
 
+    // aod-lint: allow(P1) -- head_end came from find_head_end over buf
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::bad("request head is not valid UTF-8"))?;
     let mut lines = head.split("\r\n");
@@ -145,12 +147,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         return Err(HttpError::TooLarge);
     }
 
+    // aod-lint: allow(P1) -- head_end + 4 is where find_head_end's CRLFCRLF ends, <= buf.len()
     let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::bad("connection closed mid-body"));
         }
+        // aod-lint: allow(P1) -- n <= chunk.len() per Read's contract
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);

@@ -18,6 +18,7 @@
 
 use crate::cache::{CachedRun, ResultCache};
 use crate::registry::Dataset;
+use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use aod_core::json::{JsonArray, JsonObject, JsonValue};
 use aod_core::{AocStrategy, CancelToken, DiscoveryBuilder, DiscoveryEvent};
 use std::collections::HashMap;
@@ -350,25 +351,25 @@ impl Job {
 
     /// Current status.
     pub fn status(&self) -> JobStatus {
-        self.state.lock().expect("job lock").status
+        lock_or_recover(&self.state).status
     }
 
     /// Requests cooperative cancellation (idempotent).
     pub fn cancel(&self) {
         self.cancel.cancel();
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         state.cancel_requested = true;
         self.cond.notify_all();
     }
 
     /// The completed result's JSON, once done.
     pub fn result_json(&self) -> Option<Arc<String>> {
-        self.state.lock().expect("job lock").result_json.clone()
+        lock_or_recover(&self.state).result_json.clone()
     }
 
     /// Status + progress description (`GET /jobs/{id}`).
     pub fn describe(&self) -> String {
-        let state = self.state.lock().expect("job lock");
+        let state = lock_or_recover(&self.state);
         let mut obj = JsonObject::new();
         obj.num_u64("id", self.id)
             .str("dataset", &self.dataset)
@@ -392,9 +393,9 @@ impl Job {
     /// Event lines from `from` onward, plus whether the log is complete.
     /// Blocks up to `wait` for news when there is none yet.
     pub fn events_after(&self, from: usize, wait: Duration) -> (Vec<String>, bool) {
-        let state = self.state.lock().expect("job lock");
+        let state = lock_or_recover(&self.state);
         let state = if state.events.len() <= from && !state.events_done {
-            self.cond.wait_timeout(state, wait).expect("job lock").0
+            wait_timeout_or_recover(&self.cond, state, wait)
         } else {
             state
         };
@@ -404,14 +405,14 @@ impl Job {
 
     /// Blocks until the job leaves `Running` (test/smoke convenience).
     pub fn wait_done(&self) {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         while state.status == JobStatus::Running {
-            state = self.cond.wait(state).expect("job lock");
+            state = wait_or_recover(&self.cond, state);
         }
     }
 
     fn push_event(&self, line: String, level_completed: bool) {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         Arc::make_mut(&mut state.events).push(line);
         if level_completed {
             state.levels_completed += 1;
@@ -420,7 +421,7 @@ impl Job {
     }
 
     fn finish(&self, result_json: Arc<String>, stats_json: Arc<String>) {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         state.status = JobStatus::Done;
         state.result_json = Some(result_json);
         state.stats_json = Some(stats_json);
@@ -429,7 +430,7 @@ impl Job {
     }
 
     fn adopt_cached(&self, run: &CachedRun) {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         state.status = JobStatus::Done;
         state.events = run.events.clone();
         state.events_done = true;
@@ -440,7 +441,7 @@ impl Job {
     }
 
     fn fail(&self, message: String) {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock_or_recover(&self.state);
         state.status = JobStatus::Failed;
         state.error = Some(message);
         state.events_done = true;
@@ -486,7 +487,7 @@ impl JobManager {
 
     /// Looks a job up by id.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
-        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+        lock_or_recover(&self.jobs).get(&id).cloned()
     }
 
     /// Submits a job: serves it from the cache when possible, otherwise
@@ -498,7 +499,7 @@ impl JobManager {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             let job = Arc::new(Job::new(id, &dataset.name, canonical, true));
             job.adopt_cached(&cached);
-            let mut map = self.jobs.lock().expect("jobs lock");
+            let mut map = lock_or_recover(&self.jobs);
             map.insert(id, job.clone());
             evict_completed(&mut map);
             return Ok(job);
@@ -506,7 +507,7 @@ impl JobManager {
         // Capacity check and insert under one critical section, so two
         // concurrent submits cannot both slip under the limit.
         let job = {
-            let mut map = self.jobs.lock().expect("jobs lock");
+            let mut map = lock_or_recover(&self.jobs);
             let running = map
                 .values()
                 .filter(|j| j.status() == JobStatus::Running)
@@ -535,15 +536,16 @@ impl JobManager {
             Err(e) => {
                 // Undo the reservation: a job that never got a thread must
                 // not sit in the map as eternally "running".
-                self.jobs.lock().expect("jobs lock").remove(&job.id);
+                lock_or_recover(&self.jobs).remove(&job.id);
                 return Err((500, format!("spawning job thread: {e}")));
             }
         };
         // Reap finished runner threads so the handle list (and their OS
         // resources) doesn't grow for the lifetime of a resident server.
-        let mut handles = self.handles.lock().expect("handles lock");
+        let mut handles = lock_or_recover(&self.handles);
         let mut i = 0;
         while i < handles.len() {
+            // aod-lint: allow(P1) -- i < handles.len() by the loop guard
             if handles[i].is_finished() {
                 let _ = handles.swap_remove(i).join();
             } else {
@@ -556,12 +558,12 @@ impl JobManager {
 
     /// Cancels every running job and joins all runner threads.
     pub fn shutdown(&self) {
-        for job in self.jobs.lock().expect("jobs lock").values() {
+        for job in lock_or_recover(&self.jobs).values() {
             if job.status() == JobStatus::Running {
                 job.cancel();
             }
         }
-        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        let handles: Vec<_> = std::mem::take(&mut *lock_or_recover(&self.handles));
         for handle in handles {
             let _ = handle.join();
         }
@@ -625,13 +627,13 @@ fn run_job(
             let result_json = Arc::new(result.to_json());
             let stats_json = Arc::new(result.stats.to_json());
             let levels_completed = {
-                let state = job.state.lock().expect("job lock");
+                let state = lock_or_recover(&job.state);
                 state.levels_completed
             };
             if complete {
                 // Share (not copy) the job's own log and payloads: cached
                 // replays and the finished job point at the same bytes.
-                let events = job.state.lock().expect("job lock").events.clone();
+                let events = lock_or_recover(&job.state).events.clone();
                 cache.store(
                     key,
                     CachedRun {

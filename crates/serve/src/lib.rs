@@ -52,6 +52,7 @@
 //! `DiscoverySession` with the same config on the same table, which is how
 //! `tests/serve_api.rs` verifies the service.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
@@ -60,6 +61,7 @@ mod http;
 mod jobs;
 mod registry;
 mod server;
+mod sync;
 
 pub use cache::{CachedRun, ResultCache, MAX_CACHED_RUNS};
 pub use http::{status_text, ChunkedWriter, HttpError, Request};

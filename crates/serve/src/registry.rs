@@ -10,6 +10,7 @@
 //!
 //! [fingerprint]: aod_table::RankedTable::fingerprint
 
+use crate::sync::lock_or_recover;
 use aod_core::json::{JsonArray, JsonObject};
 use aod_datagen::{flight, ncvoter};
 use aod_table::csv::{read_path, CsvOptions};
@@ -149,7 +150,7 @@ impl Registry {
             fingerprint,
             source,
         });
-        let mut map = self.inner.lock().expect("registry lock");
+        let mut map = lock_or_recover(&self.inner);
         if map.contains_key(name) {
             return Err(format!("dataset `{name}` is already registered"));
         }
@@ -164,18 +165,18 @@ impl Registry {
 
     /// Looks a dataset up by name.
     pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.inner.lock().expect("registry lock").get(name).cloned()
+        lock_or_recover(&self.inner).get(name).cloned()
     }
 
     /// Deregisters a dataset, returning it if it existed. In-flight jobs
     /// keep their own `Arc` and finish unaffected.
     pub fn remove(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.inner.lock().expect("registry lock").remove(name)
+        lock_or_recover(&self.inner).remove(name)
     }
 
     /// All datasets, sorted by name.
     pub fn list(&self) -> Vec<Arc<Dataset>> {
-        let map = self.inner.lock().expect("registry lock");
+        let map = lock_or_recover(&self.inner);
         let mut all: Vec<Arc<Dataset>> = map.values().cloned().collect();
         all.sort_by(|a, b| a.name.cmp(&b.name));
         all
@@ -183,7 +184,7 @@ impl Registry {
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry lock").len()
+        lock_or_recover(&self.inner).len()
     }
 
     /// `true` when nothing is registered.

@@ -1,0 +1,66 @@
+//! Poison-tolerant lock helpers for the serve tier.
+//!
+//! A panicking job runner or request handler must never wedge the whole
+//! server: every shared structure in this crate (job map, handle list,
+//! dataset registry, result cache) is guarded by invariant-preserving
+//! critical sections — each one leaves the structure consistent even if
+//! the code after it panics — so a poisoned mutex carries no corruption
+//! worth dying for, and recovery (`into_inner`) is always the right move.
+//! Centralizing that policy here also keeps request/job paths free of
+//! `unwrap`/`expect` on locks, which the `aod-lint` P1 rule enforces.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as
+/// [`lock_or_recover`].
+pub fn wait_or_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery; the timed-out
+/// flag is dropped because every caller re-checks its condition anyway.
+pub fn wait_timeout_or_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((guard, _timed_out)) => guard,
+        Err(e) => e.into_inner().0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_mutex_recovers_with_its_value_intact() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let mut g = lock_or_recover(&m2);
+            *g += 1;
+            panic!("poison after a complete critical section");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_or_recover(&m), 42);
+    }
+
+    #[test]
+    fn timed_wait_returns_the_guard_after_timeout() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let guard = lock_or_recover(&m);
+        let guard = wait_timeout_or_recover(&cv, guard, Duration::from_millis(1));
+        assert_eq!(*guard, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Model check for the job manager's `max_jobs` capacity admission.
+//!
+//! `JobManager::submit` counts running jobs and inserts the new one
+//! **under a single `jobs` mutex critical section** (see the comment at
+//! the capacity check in `src/jobs.rs`) — that is the entire argument for
+//! why two concurrent submits cannot both slip under the limit. These
+//! models verify the argument under every interleaving of 2 and 3
+//! submitting threads, plus runner threads completing jobs concurrently,
+//! via the vendored mini-loom explorer: one model step = one critical
+//! section of the production protocol. A deliberately racy twin (count
+//! and insert as two separate critical sections — the bug the production
+//! comment warns about) proves the explorer finds the over-admission.
+
+use loom::model::{explore, Model};
+
+/// Faithful model: capacity check + insert in ONE atomic step, mirroring
+/// the single-critical-section `submit` in `aod-serve`. Extra threads
+/// model job runners that mark a running job finished (their terminal
+/// transition also happens under the `jobs` lock in production).
+struct CapacityProtocol {
+    submitters: usize,
+    max_jobs: usize,
+    /// `true` adds one completer thread that finishes a running job
+    /// (freeing a slot) at an arbitrary point.
+    with_completer: bool,
+}
+
+#[derive(Default)]
+struct CapacityState {
+    running: usize,
+    accepted: usize,
+    rejected: usize,
+    completed: usize,
+    submitted: Vec<bool>,
+    completer_done: bool,
+}
+
+impl CapacityProtocol {
+    fn completer_thread(&self) -> Option<usize> {
+        self.with_completer.then_some(self.submitters)
+    }
+}
+
+impl Model for CapacityProtocol {
+    type State = CapacityState;
+
+    fn init(&self) -> CapacityState {
+        CapacityState {
+            submitted: vec![false; self.submitters],
+            ..CapacityState::default()
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.submitters + usize::from(self.with_completer)
+    }
+
+    fn done(&self, s: &CapacityState, t: usize) -> bool {
+        if Some(t) == self.completer_thread() {
+            s.completer_done
+        } else {
+            s.submitted[t]
+        }
+    }
+
+    fn enabled(&self, s: &CapacityState, t: usize) -> bool {
+        if Some(t) == self.completer_thread() {
+            // A runner can only finish a job that was admitted.
+            !s.completer_done && s.running > 0
+        } else {
+            !s.submitted[t]
+        }
+    }
+
+    fn step(&self, s: &mut CapacityState, t: usize) {
+        if Some(t) == self.completer_thread() {
+            // Terminal status transition under the jobs lock.
+            s.running -= 1;
+            s.completed += 1;
+            s.completer_done = true;
+            return;
+        }
+        // The single critical section: count running, reject or insert.
+        if s.running >= self.max_jobs {
+            s.rejected += 1;
+        } else {
+            s.running += 1;
+            s.accepted += 1;
+        }
+        s.submitted[t] = true;
+    }
+
+    fn invariant(&self, s: &CapacityState) -> Result<(), String> {
+        if s.running > self.max_jobs {
+            return Err(format!(
+                "over capacity: {} running > max_jobs {}",
+                s.running, self.max_jobs
+            ));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self, s: &CapacityState) -> Result<(), String> {
+        if s.accepted + s.rejected != self.submitters {
+            return Err(format!(
+                "{} accepted + {} rejected != {} submits",
+                s.accepted, s.rejected, self.submitters
+            ));
+        }
+        if s.running + s.completed != s.accepted {
+            return Err("admitted jobs leaked".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn two_submitters_never_exceed_capacity_one() {
+    let report = explore(&CapacityProtocol {
+        submitters: 2,
+        max_jobs: 1,
+        with_completer: false,
+    });
+    report.assert_complete();
+    assert_eq!(report.schedules, 2); // the two submit orders
+}
+
+#[test]
+fn three_submitters_with_a_concurrent_completion_never_exceed_capacity() {
+    // A completer freeing a slot mid-race means accepted counts vary by
+    // schedule — but `running` must never exceed max_jobs in any of them.
+    let report = explore(&CapacityProtocol {
+        submitters: 3,
+        max_jobs: 2,
+        with_completer: true,
+    });
+    report.assert_complete();
+    assert!(
+        report.schedules > 10,
+        "suspiciously few schedules ({})",
+        report.schedules
+    );
+}
+
+/// The racy twin: capacity *check* and *insert* as two separate critical
+/// sections. Both submitters pass the check before either inserts — the
+/// over-admission the production code's single-critical-section comment
+/// is about. The explorer must find it.
+struct RacyCapacity {
+    submitters: usize,
+    max_jobs: usize,
+}
+
+#[derive(Default)]
+struct RacyState {
+    running: usize,
+    /// Threads that passed the check but have not inserted yet.
+    admitted: Vec<bool>,
+    submitted: Vec<bool>,
+}
+
+impl Model for RacyCapacity {
+    type State = RacyState;
+
+    fn init(&self) -> RacyState {
+        RacyState {
+            running: 0,
+            admitted: vec![false; self.submitters],
+            submitted: vec![false; self.submitters],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.submitters
+    }
+
+    fn done(&self, s: &RacyState, t: usize) -> bool {
+        s.submitted[t]
+    }
+
+    fn step(&self, s: &mut RacyState, t: usize) {
+        if !s.admitted[t] {
+            // Critical section 1: the check.
+            if s.running >= self.max_jobs {
+                s.submitted[t] = true; // rejected
+            } else {
+                s.admitted[t] = true;
+            }
+        } else {
+            // Critical section 2: the insert — capacity re-checked never.
+            s.running += 1;
+            s.submitted[t] = true;
+        }
+    }
+
+    fn invariant(&self, s: &RacyState) -> Result<(), String> {
+        if s.running > self.max_jobs {
+            return Err(format!(
+                "over capacity: {} running > max_jobs {}",
+                s.running, self.max_jobs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn explorer_finds_the_check_then_insert_over_admission() {
+    let report = explore(&RacyCapacity {
+        submitters: 2,
+        max_jobs: 1,
+    });
+    let v = report
+        .violation
+        .expect("split check/insert must over-admit under some schedule");
+    assert!(v.message.contains("over capacity"), "{}", v.message);
+    assert!(!v.schedule.is_empty());
+}

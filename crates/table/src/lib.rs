@@ -24,6 +24,7 @@
 //! assert_eq!(ranked.column(2).n_distinct(), 9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;

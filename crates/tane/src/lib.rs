@@ -36,6 +36,7 @@
 //! assert!(result.fds.iter().any(|fd| fd.rhs == 3));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use aod_partition::{

@@ -182,7 +182,7 @@ impl OcValidatorBackend for IterativeOcBackend {
 /// itself off.
 pub const SAMPLE_HIT_RATE_FLOOR: f64 = 0.25;
 
-/// The **hybrid** backend: [`presample`] quick-reject in front of
+/// The **hybrid** backend: [`presample`](crate::presample) quick-reject in front of
 /// **Algorithm 2** (the paper's future-work "hybrid sampling" direction).
 ///
 /// Every candidate is first validated on a systematic every-`stride`-th-row

@@ -41,6 +41,7 @@
 //! assert_eq!(out.removed, Some(4));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;

@@ -52,6 +52,7 @@
 //! assert_eq!(outcome.removed, Some(4));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Relation substrate (re-export of `aod-table`).

@@ -14,6 +14,7 @@
 //! wall time (plus element throughput when configured). There are no
 //! statistical refinements, HTML reports, or baselines.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -1,0 +1,56 @@
+//! # loom (vendored mini-loom) — exhaustive interleaving exploration
+//!
+//! The workspace's concurrency guarantees (the `aod-exec` steal-half /
+//! publish-back deque protocol, the `aod-serve` `max_jobs` capacity check)
+//! are protocol-level properties: every critical section is a short
+//! mutex-guarded block, and the interesting behaviour is how those blocks
+//! *interleave* across threads. This crate model-checks exactly that:
+//!
+//! * [`model`] — a [`Model`](model::Model) is a set of per-thread step
+//!   machines over shared state, where each step is one atomic action (one
+//!   mutex critical section in the real code). [`model::explore`] runs the
+//!   model under **every** schedule of those steps (depth-first with
+//!   replay), checking invariants after each step and a final condition at
+//!   the end of each schedule, and reports the first violating schedule.
+//! * [`sync`] — instrumented drop-in shims for the `std::sync` primitives
+//!   the executor uses. Production code gates them behind a cargo feature
+//!   (see `aod-exec`'s `loom` feature), so the same source builds against
+//!   `std` in release and against the counting shim under model tests.
+//!
+//! Unlike the real loom there are no generators and no per-access atomic
+//! interception: models declare their atomic steps explicitly. For the
+//! protocols checked here that is not a loss of fidelity — the production
+//! critical sections *are* single lock-guarded blocks, so the explored
+//! interleavings are exactly the schedules the OS could produce (the mutex
+//! serializes everything inside a block).
+//!
+//! ```
+//! use loom::model::{explore, Model, Report};
+//!
+//! /// Two threads each increment a shared counter inside one atomic step.
+//! struct AtomicIncrement;
+//!
+//! impl Model for AtomicIncrement {
+//!     type State = (u32, [bool; 2]);
+//!     fn init(&self) -> Self::State { (0, [false; 2]) }
+//!     fn threads(&self) -> usize { 2 }
+//!     fn done(&self, s: &Self::State, t: usize) -> bool { s.1[t] }
+//!     fn step(&self, s: &mut Self::State, t: usize) {
+//!         s.0 += 1;
+//!         s.1[t] = true;
+//!     }
+//!     fn final_check(&self, s: &Self::State) -> Result<(), String> {
+//!         if s.0 == 2 { Ok(()) } else { Err(format!("lost update: {}", s.0)) }
+//!     }
+//! }
+//!
+//! let report: Report = explore(&AtomicIncrement);
+//! assert!(report.violation.is_none());
+//! assert_eq!(report.schedules, 2); // the two orders of two atomic steps
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod sync;

@@ -1,0 +1,103 @@
+//! Instrumented drop-in shims for the `std::sync` primitives production
+//! code uses under model tests.
+//!
+//! `aod-exec` gates its sync imports behind a `loom` cargo feature: release
+//! builds use `std::sync::Mutex` directly, model-test builds swap in this
+//! [`Mutex`], which wraps the std mutex and counts acquisitions. The count
+//! gives model tests a cheap structural assertion — the protocol under
+//! test really did serialize through the lock (N critical sections → N
+//! acquisitions) — while keeping the shim API-compatible with the
+//! `lock().unwrap_or_else(|e| e.into_inner())` poison-recovery idiom the
+//! production code uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use std::sync::{LockResult, PoisonError};
+
+/// A counting wrapper around [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    acquisitions: AtomicU64,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the lock, bumping the acquisition counter. Poisoning is
+    /// passed through so callers can apply their usual recovery.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard(g)),
+            Err(e) => Err(PoisonError::new(MutexGuard(e.into_inner()))),
+        }
+    }
+
+    /// How many times [`Mutex::lock`] has been called.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the mutex, returning the inner value (poison recovered).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; derefs to the protected value.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Re-export of the std atomics: the shim never needs to instrument them
+/// because models declare their atomic steps explicitly.
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_counts_acquisitions_and_guards_data() {
+        let m = Mutex::new(0u32);
+        for _ in 0..5 {
+            *m.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        }
+        assert_eq!(m.acquisitions(), 5);
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_via_into_inner() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("poison the mutex");
+        })
+        .join();
+        let v = *m.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(v, 7);
+    }
+}

@@ -14,6 +14,7 @@
 //! omission is shrinking — a failing input is reported as generated, not
 //! minimised.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collection;

@@ -7,6 +7,7 @@
 //! on top of a deterministic xoshiro256++ generator. Swapping back to the
 //! real crate is a one-line change in the workspace manifest.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
