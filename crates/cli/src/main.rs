@@ -19,7 +19,7 @@
 
 use aod_core::{
     discover, outlier_report, AocStrategy, DiscoveryBuilder, DiscoveryConfig, DiscoveryEvent,
-    DiscoveryResult,
+    DiscoveryMetrics, DiscoveryResult, Phase,
 };
 use aod_datagen::{flight, ncvoter};
 use aod_partition::AttrSet;
@@ -192,7 +192,21 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
     }
 
     let result = if args.flag("progress") {
-        run_with_progress(builder.build(&ranked))
+        // --progress narrates from the same observability surface
+        // `aod-serve` exports on `GET /metrics`: a [`DiscoveryMetrics`]
+        // event sink over a private registry, plus the executor's
+        // queue-depth gauge.
+        let registry = aod_obs::Registry::new();
+        let metrics = std::sync::Arc::new(DiscoveryMetrics::new(&registry, &[]));
+        let clock = aod_obs::MonotonicClock::new();
+        builder = builder
+            .event_sink(metrics.as_sink())
+            .queue_depth_gauge(registry.gauge(
+                "aod_exec_queue_depth",
+                "Work items remaining in the current parallel batch.",
+                &[],
+            ));
+        run_with_progress(builder.build(&ranked), &metrics, &clock)
     } else {
         builder.run(&ranked)
     };
@@ -254,7 +268,18 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
 
 /// Drains the session's event stream, narrating per-level progress (and
 /// early stops) on stderr so long wide-schema runs stay observable.
-fn run_with_progress(mut session: aod_core::DiscoverySession<'_>) -> DiscoveryResult {
+///
+/// Every figure is read from the attached [`DiscoveryMetrics`] sink —
+/// level/node gauges, found/pruned/candidate counter deltas, and the
+/// per-phase duration histograms — not from the events themselves, so the
+/// narration exercises exactly the surface `GET /metrics` scrapes. The
+/// candidates/sec rate brackets each level with the injected
+/// [`Clock`](aod_obs::Clock).
+fn run_with_progress(
+    mut session: aod_core::DiscoverySession<'_>,
+    metrics: &DiscoveryMetrics,
+    clock: &dyn aod_obs::Clock,
+) -> DiscoveryResult {
     let threads = session.stats().threads_used;
     eprintln!(
         "discovering with {threads} thread{}{}",
@@ -265,18 +290,50 @@ fn run_with_progress(mut session: aod_core::DiscoverySession<'_>) -> DiscoveryRe
             " (parallel per-level validation)"
         },
     );
+    let phase_sums = |m: &DiscoveryMetrics| -> [u64; 3] { Phase::ALL.map(|p| m.phase(p).sum_us()) };
+    let mut last_us = clock.now_us();
+    let mut seen_candidates = 0u64;
+    let mut seen_pruned = 0u64;
+    let mut seen_ocs = 0u64;
+    let mut seen_ofds = 0u64;
+    let mut seen_phases = phase_sums(metrics);
     for event in session.by_ref() {
         match event {
-            DiscoveryEvent::LevelComplete(outcome) => {
+            DiscoveryEvent::LevelComplete(_) => {
+                let now_us = clock.now_us();
+                let level_us = now_us.saturating_sub(last_us).max(1);
+                last_us = now_us;
+                let candidates = metrics.oc_candidates().get();
+                let pruned = metrics.oc_pruned().get();
+                let ocs = metrics.ocs_found().get();
+                let ofds = metrics.ofds_found().get();
+                let phases = phase_sums(metrics);
+                let rate = (candidates - seen_candidates) as f64 * 1e6 / level_us as f64;
+                let split: Vec<u64> = phases
+                    .iter()
+                    .zip(seen_phases)
+                    .map(|(now, before)| now.saturating_sub(before))
+                    .collect();
+                let split_total = split.iter().sum::<u64>().max(1) as f64;
                 eprintln!(
-                    "level {:>2}: {:>6} nodes, {:>6} OC candidates ({} pruned), +{} OCs, +{} OFDs",
-                    outcome.level,
-                    outcome.stats.n_nodes,
-                    outcome.stats.n_oc_candidates,
-                    outcome.stats.n_oc_pruned,
-                    outcome.stats.n_oc_found,
-                    outcome.stats.n_ofd_found,
+                    "level {:>2}: {:>6} nodes, {:>6} OC candidates ({} pruned), +{} OCs, \
+                     +{} OFDs | {:>7.0} cand/s | oc {:>2.0}% ofd {:>2.0}% part {:>2.0}%",
+                    metrics.level().get(),
+                    metrics.level_nodes().get(),
+                    candidates - seen_candidates,
+                    pruned - seen_pruned,
+                    ocs - seen_ocs,
+                    ofds - seen_ofds,
+                    rate,
+                    100.0 * split[0] as f64 / split_total,
+                    100.0 * split[1] as f64 / split_total,
+                    100.0 * split[2] as f64 / split_total,
                 );
+                seen_candidates = candidates;
+                seen_pruned = pruned;
+                seen_ocs = ocs;
+                seen_ofds = ofds;
+                seen_phases = phases;
             }
             DiscoveryEvent::TimedOut { level } => {
                 eprintln!("level {level:>2}: wall-clock budget exceeded, stopping");

@@ -21,9 +21,11 @@
 use crate::config::{DiscoveryConfig, Mode, PruneConfig};
 use crate::engine::{CancelToken, DiscoverySession, SessionOptions};
 use crate::result::DiscoveryResult;
+use crate::sink::EventSink;
 use aod_partition::{AttrSet, MAX_ATTRS};
 use aod_table::RankedTable;
 use aod_validate::{exact_backend, strategy_backend, AocStrategy, OcValidatorBackend};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Fluent builder for [`DiscoverySession`]s.
@@ -44,6 +46,8 @@ pub struct DiscoveryBuilder {
     backend: Option<Box<dyn OcValidatorBackend>>,
     record_events: bool,
     parallelism: usize,
+    sink: Option<Arc<dyn EventSink>>,
+    queue_gauge: Option<aod_obs::Gauge>,
 }
 
 impl Default for DiscoveryBuilder {
@@ -60,6 +64,8 @@ impl Default for DiscoveryBuilder {
             backend: None,
             record_events: true,
             parallelism: 1,
+            sink: None,
+            queue_gauge: None,
         }
     }
 }
@@ -180,6 +186,26 @@ impl DiscoveryBuilder {
         self
     }
 
+    /// Attaches an observability tap: the sink sees every
+    /// [`DiscoveryEvent`](crate::DiscoveryEvent) plus level-progress and
+    /// per-phase timing signals as the session runs (see
+    /// [`EventSink`]). Purely passive — outputs are bit-identical with or
+    /// without a sink — and independent of
+    /// [`record_events`](DiscoveryBuilder::record_events), so a metrics
+    /// sink works even on buffer-less one-shot runs.
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> DiscoveryBuilder {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a gauge tracking the executor's outstanding per-level work
+    /// items (queue depth). Only parallel runs
+    /// ([`parallelism`](DiscoveryBuilder::parallelism) ≠ 1) update it.
+    pub fn queue_depth_gauge(mut self, gauge: aod_obs::Gauge) -> DiscoveryBuilder {
+        self.queue_gauge = Some(gauge);
+        self
+    }
+
     /// Whether the session buffers [`DiscoveryEvent`](crate::DiscoveryEvent)s
     /// (default `true`). Disable when driving the session purely through
     /// [`step`](DiscoverySession::step) so unobserved events don't
@@ -231,6 +257,8 @@ impl DiscoveryBuilder {
             cancel: self.cancel.unwrap_or_default(),
             backend,
             record_events: self.record_events,
+            sink: self.sink,
+            queue_gauge: self.queue_gauge,
         };
         DiscoverySession::new(table, config, options)
     }
@@ -252,6 +280,7 @@ impl std::fmt::Debug for DiscoveryBuilder {
             .field("top_k", &self.top_k)
             .field("parallelism", &self.parallelism)
             .field("custom_backend", &self.backend.as_ref().map(|b| b.name()))
+            .field("has_sink", &self.sink.is_some())
             .finish_non_exhaustive()
     }
 }

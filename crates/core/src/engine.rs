@@ -64,6 +64,7 @@ use crate::frontier::{Frontier, Node};
 use crate::parallel::{eval_node, stop_check, LevelCtx, NodeEval, NodeResult, OcEval};
 use crate::prune_state::{PruneRule, PruneState};
 use crate::result::DiscoveryResult;
+use crate::sink::{EventSink, Phase};
 use crate::stats::{DiscoveryStats, LevelStats};
 use aod_exec::Executor;
 use aod_partition::{AttrSet, PartitionCache, MAX_ATTRS};
@@ -186,6 +187,10 @@ pub(crate) struct SessionOptions {
     pub backend: Box<dyn OcValidatorBackend>,
     /// Whether events are buffered (one-shot runs disable this).
     pub record_events: bool,
+    /// Observability tap; `None` keeps the hot path to a single branch.
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Queue-depth gauge handed to the executor (parallel runs only).
+    pub queue_gauge: Option<aod_obs::Gauge>,
 }
 
 /// A resumable, observable discovery run over one table.
@@ -216,6 +221,7 @@ pub struct DiscoverySession<'t> {
     ofds: Vec<OfdDep>,
     events: VecDeque<DiscoveryEvent>,
     record_events: bool,
+    sink: Option<Arc<dyn EventSink>>,
     start: Instant,
     finished: Option<StopReason>,
 }
@@ -248,7 +254,10 @@ impl<'t> DiscoverySession<'t> {
         };
         let mut cache = PartitionCache::new();
         let frontier = Frontier::seed(table, scope, &mut cache);
-        let exec = Executor::new(config.threads);
+        let mut exec = Executor::new(config.threads);
+        if let Some(gauge) = options.queue_gauge {
+            exec = exec.with_queue_gauge(gauge);
+        }
         let threads_used = exec.threads();
         let executor = (threads_used > 1).then_some(exec);
         let stats = DiscoveryStats {
@@ -273,6 +282,7 @@ impl<'t> DiscoverySession<'t> {
             ofds: Vec::new(),
             events: VecDeque::new(),
             record_events: options.record_events,
+            sink: options.sink,
             start: Instant::now(),
             finished: None,
         }
@@ -336,6 +346,16 @@ impl<'t> DiscoverySession<'t> {
 
         let level = self.frontier.level;
         self.stats.level_mut(level).n_nodes = self.frontier.nodes.len();
+        if let Some(sink) = &self.sink {
+            sink.on_level_start(level, self.frontier.nodes.len());
+        }
+        // Baseline for per-phase deltas: the cumulative phase timers grow
+        // monotonically, so this level's share is (after − before).
+        let phase_before = [
+            self.stats.oc_validation,
+            self.stats.ofd_validation,
+            self.stats.partitioning,
+        ];
         let stop = match self.executor.clone() {
             Some(exec) => self.process_level_parallel(level, &exec),
             None => self.process_level_sequential(level),
@@ -385,6 +405,23 @@ impl<'t> DiscoverySession<'t> {
                         self.finish(StopReason::Exhausted);
                     }
                 }
+            }
+        }
+        if let Some(sink) = &self.sink {
+            let phase_after = [
+                self.stats.oc_validation,
+                self.stats.ofd_validation,
+                self.stats.partitioning,
+            ];
+            for (phase, (after, before)) in Phase::ALL
+                .into_iter()
+                .zip(phase_after.into_iter().zip(phase_before))
+            {
+                sink.on_phase(
+                    level,
+                    phase,
+                    after.saturating_sub(before).as_micros() as u64,
+                );
             }
         }
         outcome.stop = self.finished;
@@ -517,8 +554,8 @@ impl<'t> DiscoverySession<'t> {
                     level,
                     coverage: ofd.coverage,
                 };
-                if self.record_events {
-                    self.events.push_back(DiscoveryEvent::OfdFound(dep.clone()));
+                if self.observing() {
+                    self.emit(DiscoveryEvent::OfdFound(dep.clone()));
                 }
                 self.ofds.push(dep);
                 self.prune.record_constant(ofd.a, ctx_set);
@@ -548,8 +585,8 @@ impl<'t> DiscoverySession<'t> {
                             level,
                             coverage,
                         };
-                        if self.record_events {
-                            self.events.push_back(DiscoveryEvent::OcFound(dep.clone()));
+                        if self.observing() {
+                            self.emit(DiscoveryEvent::OcFound(dep.clone()));
                         }
                         self.ocs.push(dep);
                         self.prune.record_oc(cand.a, cand.b, cand.context);
@@ -601,8 +638,8 @@ impl<'t> DiscoverySession<'t> {
             level,
             coverage,
         };
-        if self.record_events {
-            self.events.push_back(DiscoveryEvent::OfdFound(dep.clone()));
+        if self.observing() {
+            self.emit(DiscoveryEvent::OfdFound(dep.clone()));
         }
         self.ofds.push(dep);
         self.prune.record_constant(a, ctx_set);
@@ -653,8 +690,8 @@ impl<'t> DiscoverySession<'t> {
             level,
             coverage,
         };
-        if self.record_events {
-            self.events.push_back(DiscoveryEvent::OcFound(dep.clone()));
+        if self.observing() {
+            self.emit(DiscoveryEvent::OcFound(dep.clone()));
         }
         self.ocs.push(dep);
         self.prune.record_oc(a, b, ctx_set);
@@ -684,9 +721,18 @@ impl<'t> DiscoverySession<'t> {
     }
 
     fn emit(&mut self, event: DiscoveryEvent) {
+        if let Some(sink) = &self.sink {
+            sink.on_event(&event);
+        }
         if self.record_events {
             self.events.push_back(event);
         }
+    }
+
+    /// `true` when building an event is worthwhile at all — the guard the
+    /// found-dependency hot paths use before cloning a dep into `emit`.
+    fn observing(&self) -> bool {
+        self.record_events || self.sink.is_some()
     }
 
     fn finish(&mut self, reason: StopReason) {
@@ -697,6 +743,9 @@ impl<'t> DiscoverySession<'t> {
             StopReason::Exhausted | StopReason::MaxLevel => {}
         }
         self.stats.total = self.start.elapsed();
+        if let Some(sink) = &self.sink {
+            sink.on_finish(&self.stats);
+        }
     }
 
     /// Runs the remaining levels to completion and returns the result.
@@ -777,7 +826,9 @@ impl std::fmt::Debug for DiscoverySession<'_> {
 mod tests {
     use crate::builder::DiscoveryBuilder;
     use crate::engine::DiscoveryEvent;
+    use crate::sink::{DiscoveryMetrics, EventSink, NoopSink, Phase};
     use aod_table::{employee_table, RankedTable};
+    use std::sync::Arc;
 
     fn employee() -> RankedTable {
         RankedTable::from_table(&employee_table())
@@ -864,6 +915,149 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Attaching the no-op sink changes nothing: events, dependency lists
+    /// and per-level counters stay bit-identical to a sink-less run, at
+    /// every thread count.
+    #[test]
+    fn noop_sink_keeps_outputs_bit_identical() {
+        let t = employee();
+        for threads in [1usize, 2, 4] {
+            let builder = || {
+                DiscoveryBuilder::new()
+                    .approximate(0.15)
+                    .parallelism(threads)
+            };
+            let mut plain = builder().build(&t);
+            let plain_events: Vec<DiscoveryEvent> = plain.by_ref().collect();
+            let plain_result = plain.into_result();
+
+            let mut observed = builder().event_sink(Arc::new(NoopSink)).build(&t);
+            let observed_events: Vec<DiscoveryEvent> = observed.by_ref().collect();
+            let observed_result = observed.into_result();
+
+            assert_eq!(observed_events, plain_events, "threads = {threads}");
+            assert_eq!(observed_result.ocs, plain_result.ocs);
+            assert_eq!(observed_result.ofds, plain_result.ofds);
+            assert_eq!(
+                observed_result.stats.per_level,
+                plain_result.stats.per_level
+            );
+        }
+    }
+
+    /// A recording sink sees exactly the event stream the iterator yields,
+    /// in the same order — including on buffer-less (`record_events(false)`)
+    /// runs, where the sink is the only observer.
+    #[test]
+    fn sink_sees_the_exact_event_stream() {
+        #[derive(Default)]
+        struct Recorder {
+            events: std::sync::Mutex<Vec<DiscoveryEvent>>,
+            levels: std::sync::Mutex<Vec<(usize, usize)>>,
+            phases: std::sync::Mutex<Vec<(usize, Phase)>>,
+            finishes: std::sync::atomic::AtomicUsize,
+        }
+        impl EventSink for Recorder {
+            fn on_level_start(&self, level: usize, n_nodes: usize) {
+                self.levels.lock().unwrap().push((level, n_nodes));
+            }
+            fn on_event(&self, event: &DiscoveryEvent) {
+                self.events.lock().unwrap().push(event.clone());
+            }
+            fn on_phase(&self, level: usize, phase: Phase, _micros: u64) {
+                self.phases.lock().unwrap().push((level, phase));
+            }
+            fn on_finish(&self, _stats: &crate::stats::DiscoveryStats) {
+                self.finishes
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+
+        let t = employee();
+        let mut reference = DiscoveryBuilder::new().approximate(0.15).build(&t);
+        let expected: Vec<DiscoveryEvent> = reference.by_ref().collect();
+
+        let recorder = Arc::new(Recorder::default());
+        let result = DiscoveryBuilder::new()
+            .approximate(0.15)
+            .event_sink(recorder.clone())
+            .record_events(false)
+            .build(&t)
+            .run();
+
+        assert_eq!(*recorder.events.lock().unwrap(), expected);
+        let levels = recorder.levels.lock().unwrap();
+        assert_eq!(levels.len(), result.stats.per_level.len());
+        assert!(levels.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        // Three phase reports per processed level, grouped by level.
+        assert_eq!(
+            recorder.phases.lock().unwrap().len(),
+            3 * result.stats.per_level.len()
+        );
+        assert_eq!(
+            recorder.finishes.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    /// The standard metrics sink converges on exactly the deterministic
+    /// totals of the final stats.
+    #[test]
+    fn discovery_metrics_match_final_stats() {
+        let t = employee();
+        let registry = aod_obs::Registry::new();
+        let metrics = Arc::new(DiscoveryMetrics::new(&registry, &[]));
+        let result = DiscoveryBuilder::new()
+            .approximate(0.15)
+            .parallelism(2)
+            .event_sink(metrics.as_sink())
+            .run(&t);
+
+        let stats = &result.stats;
+        assert_eq!(metrics.ocs_found().get(), stats.n_ocs() as u64);
+        assert_eq!(metrics.ofds_found().get(), stats.n_ofds() as u64);
+        let candidates: usize = stats.per_level.iter().map(|l| l.n_oc_candidates).sum();
+        assert_eq!(metrics.oc_candidates().get(), candidates as u64);
+        let pruned: usize = stats.per_level.iter().map(|l| l.n_oc_pruned).sum();
+        assert_eq!(metrics.oc_pruned().get(), pruned as u64);
+        assert_eq!(
+            metrics.levels_completed().get(),
+            stats.per_level.len() as u64
+        );
+        for phase in Phase::ALL {
+            assert_eq!(
+                metrics.phase(phase).count(),
+                stats.per_level.len() as u64,
+                "one observation per level for {}",
+                phase.name()
+            );
+        }
+    }
+
+    /// `n_products` counts the partition products that materialized each
+    /// level: zero for the seeded level 1, `n_nodes` of level ℓ for ℓ ≥ 2
+    /// (every node is built by exactly one product), at every thread count.
+    #[test]
+    fn n_products_counts_materializing_products() {
+        let t = employee();
+        for threads in [1usize, 4] {
+            let result = DiscoveryBuilder::new()
+                .approximate(0.1)
+                .parallelism(threads)
+                .run(&t);
+            let per_level = &result.stats.per_level;
+            assert_eq!(per_level[0].n_products, 0, "level 1 is seeded");
+            assert!(per_level.iter().skip(1).any(|l| l.n_products > 0));
+            for l in per_level.iter().skip(1) {
+                assert_eq!(l.n_products, l.n_nodes, "threads = {threads}");
+            }
+            assert_eq!(
+                result.stats.n_partition_products(),
+                per_level.iter().map(|l| l.n_products).sum::<usize>()
+            );
         }
     }
 }

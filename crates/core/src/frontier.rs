@@ -110,6 +110,12 @@ impl Frontier {
             }
         }
 
+        // Products computed here materialize level ℓ+1, so they are
+        // charged to that level's counters (level 1 is seeded, count 0).
+        if !joins.is_empty() {
+            stats.level_mut(self.level + 1).n_products += joins.len();
+        }
+
         let t0 = Instant::now();
         let mut next = Vec::with_capacity(joins.len());
         match executor {

@@ -68,6 +68,7 @@ mod parallel;
 mod prune_state;
 mod repair;
 mod result;
+pub mod sink;
 mod stats;
 pub mod wire;
 
@@ -80,6 +81,7 @@ pub use engine::{CancelToken, DiscoveryEvent, DiscoverySession, LevelOutcome, St
 pub use prune_state::PruneRule;
 pub use repair::{cleaning_candidates, outlier_report, OutlierReport};
 pub use result::DiscoveryResult;
+pub use sink::{DiscoveryMetrics, EventSink, NoopSink, Phase};
 pub use stats::{DiscoveryStats, LevelStats};
 pub use wire::SCHEMA_VERSION;
 

@@ -30,6 +30,11 @@ pub struct LevelStats {
     /// OC candidates whose sample passed, requiring the full validation
     /// anyway (the pre-check's overhead cases).
     pub n_sample_misses: usize,
+    /// Sorted-partition products computed to *materialize* this level
+    /// (the `Frontier::advance` work that built its nodes). Level 1 is
+    /// seeded from single columns, so its count is 0. Deterministic
+    /// across thread counts, like every other counter here.
+    pub n_products: usize,
 }
 
 /// Aggregated statistics for a discovery run.
@@ -107,6 +112,13 @@ impl DiscoveryStats {
     /// ran) across levels.
     pub fn n_sample_misses(&self) -> usize {
         self.per_level.iter().map(|l| l.n_sample_misses).sum()
+    }
+
+    /// Total partition products computed across all `Frontier::advance`
+    /// calls — the denominator of the paper's "partitioning is cheap
+    /// relative to validation" claim, now exposed as a counter.
+    pub fn n_partition_products(&self) -> usize {
+        self.per_level.iter().map(|l| l.n_products).sum()
     }
 
     /// Average lattice level of found OCs (Exp-5's headline number);

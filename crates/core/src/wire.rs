@@ -21,7 +21,7 @@
 //! |------|--------|
 //! | [`OcDep`] | `context`, `a`, `b`, `removed`, `factor`, `level`, `coverage` |
 //! | [`OfdDep`] | `context`, `rhs`, `removed`, `factor`, `level`, `coverage` |
-//! | [`LevelStats`] | `level`, `n_nodes`, `n_oc_candidates`, `n_oc_pruned`, `n_oc_found`, `n_ofd_candidates`, `n_ofd_found`, `n_sample_hits`, `n_sample_misses` |
+//! | [`LevelStats`] | `level`, `n_nodes`, `n_oc_candidates`, `n_oc_pruned`, `n_oc_found`, `n_ofd_candidates`, `n_ofd_found`, `n_sample_hits`, `n_sample_misses`, `n_products` |
 //! | [`DiscoveryStats`] | `total_ms`, `oc_validation_ms`, `ofd_validation_ms`, `partitioning_ms`, `timed_out`, `stopped_early`, `threads_used`, `per_level` |
 //! | [`DiscoveryResult`] | `schema_version`, `n_rows`, `n_attrs`, `ocs`, `ofds`, `stats` |
 //! | [`DiscoveryEvent`] | `event` tag + per-variant payload (see [`DiscoveryEvent::to_json`]) |
@@ -124,7 +124,8 @@ impl LevelStats {
             .num_u64("n_ofd_candidates", self.n_ofd_candidates as u64)
             .num_u64("n_ofd_found", self.n_ofd_found as u64)
             .num_u64("n_sample_hits", self.n_sample_hits as u64)
-            .num_u64("n_sample_misses", self.n_sample_misses as u64);
+            .num_u64("n_sample_misses", self.n_sample_misses as u64)
+            .num_u64("n_products", self.n_products as u64);
         obj.finish()
     }
 }
@@ -307,6 +308,42 @@ mod tests {
         let levels = v.get("per_level").unwrap().as_array().unwrap();
         assert_eq!(levels.len(), 1);
         assert_eq!(levels[0].get("n_nodes").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn level_stats_round_trip_including_n_products() {
+        let stats = LevelStats {
+            level: 3,
+            n_nodes: 20,
+            n_oc_candidates: 41,
+            n_oc_pruned: 7,
+            n_oc_found: 5,
+            n_ofd_candidates: 12,
+            n_ofd_found: 2,
+            n_sample_hits: 9,
+            n_sample_misses: 3,
+            n_products: 20,
+        };
+        let v = JsonValue::parse(&stats.to_json()).unwrap();
+        assert_eq!(v.get("level").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n_products").unwrap().as_u64(), Some(20));
+        assert_eq!(v.get("n_sample_misses").unwrap().as_u64(), Some(3));
+        // The additive field also flows through a real run's encoding.
+        let result = DiscoveryBuilder::new().approximate(0.1).run(&employee());
+        let run = JsonValue::parse(&result.to_json()).unwrap();
+        let levels = run
+            .get("stats")
+            .unwrap()
+            .get("per_level")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let products: u64 = levels
+            .iter()
+            .map(|l| l.get("n_products").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(products, result.stats.n_partition_products() as u64);
+        assert!(products > 0);
     }
 
     #[test]

@@ -57,6 +57,7 @@ use sync::Mutex;
 #[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    queue_gauge: Option<aod_obs::Gauge>,
 }
 
 impl Executor {
@@ -70,7 +71,21 @@ impl Executor {
                 .unwrap_or(1),
             n => n,
         };
-        Executor { threads }
+        Executor {
+            threads,
+            queue_gauge: None,
+        }
+    }
+
+    /// Attaches a queue-depth gauge: each `par_map_*` call sets it to the
+    /// number of pending items and decrements it as items complete, so an
+    /// observer sees the pool's outstanding work in real time. Purely
+    /// observational — results and scheduling are unaffected. (After a
+    /// panicking map the gauge may retain the unprocessed remainder; the
+    /// panic is re-raised either way.)
+    pub fn with_queue_gauge(mut self, gauge: aod_obs::Gauge) -> Executor {
+        self.queue_gauge = Some(gauge);
+        self
     }
 
     /// The resolved worker count.
@@ -114,6 +129,9 @@ impl Executor {
             states.len(),
             self.threads
         );
+        if let Some(gauge) = &self.queue_gauge {
+            gauge.set(items.len() as u64);
+        }
         // Never spawn more workers than items; a 1-worker map degenerates
         // to the plain sequential loop (no queues, no slots).
         let n_workers = self.threads.min(items.len()).max(1);
@@ -122,7 +140,13 @@ impl Executor {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(state, i, item))
+                .map(|(i, item)| {
+                    let r = f(state, i, item);
+                    if let Some(gauge) = &self.queue_gauge {
+                        gauge.sub(1);
+                    }
+                    r
+                })
                 .collect();
         }
         states.truncate(n_workers);
@@ -139,6 +163,7 @@ impl Executor {
                 let abort = &abort;
                 let panic_payload = &panic_payload;
                 let f = &f;
+                let queue_gauge = self.queue_gauge.as_ref();
                 scope.spawn(move || {
                     let mut state = state;
                     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -149,6 +174,9 @@ impl Executor {
                             // and the caller only reads slots after `scope`
                             // joined every worker.
                             unsafe { slots.write(i, r) };
+                            if let Some(gauge) = queue_gauge {
+                                gauge.sub(1);
+                            }
                         });
                     }));
                     if let Err(payload) = result {
@@ -325,6 +353,18 @@ mod tests {
             .copied()
             .expect("payload preserved");
         assert_eq!(msg, "unlucky item");
+    }
+
+    #[test]
+    fn queue_gauge_fills_then_drains_to_zero_in_both_paths() {
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 4] {
+            let gauge = aod_obs::Gauge::new();
+            let exec = Executor::new(threads).with_queue_gauge(gauge.clone());
+            let out = exec.par_map_indexed(&items, |_, &x| x);
+            assert_eq!(out, items);
+            assert_eq!(gauge.get(), 0, "threads={threads}");
+        }
     }
 
     #[test]

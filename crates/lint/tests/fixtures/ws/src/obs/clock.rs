@@ -1,0 +1,16 @@
+//! Registered observability clock: the D2 allowlist covers this file,
+//! mirroring the real workspace's `crates/obs/src/clock.rs`.
+
+pub struct MonotonicClock {
+    origin: std::time::Instant,
+}
+
+pub fn make() -> MonotonicClock {
+    MonotonicClock {
+        origin: std::time::Instant::now(),
+    }
+}
+
+pub fn now_us(clock: &MonotonicClock) -> u64 {
+    clock.origin.elapsed().as_micros() as u64
+}

@@ -1,0 +1,8 @@
+//! Obs-adjacent module sneaking a raw clock read: D2 still flags it.
+//! Only the registered clock module may touch `Instant` — everything
+//! else must take a `Clock` handle.
+
+pub fn observe_now() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}

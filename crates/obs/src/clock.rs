@@ -1,0 +1,96 @@
+//! Injectable time sources.
+//!
+//! This module is the **only** place in the observability stack that reads
+//! `std::time::Instant`, and it is registered in the workspace's D2 timing
+//! allowlist (`lint.toml`). Everything downstream takes a `&dyn Clock`, so
+//! tests drive latency histograms with a [`ManualClock`] and stay fully
+//! deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone microsecond clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed since an arbitrary fixed origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock implementation over [`Instant`], anchored at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-cranked clock for tests: time only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock stopped at 0 µs.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Jumps the clock to an absolute microsecond value.
+    pub fn set_us(&self, us: u64) {
+        self.now.store(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_cranked() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_us(), 0);
+        clock.advance_us(250);
+        clock.advance_us(50);
+        assert_eq!(clock.now_us(), 300);
+        clock.set_us(10);
+        assert_eq!(clock.now_us(), 10);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+}

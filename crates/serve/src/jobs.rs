@@ -17,6 +17,7 @@
 //!   later request is answered without re-validating anything.
 
 use crate::cache::{CachedRun, ResultCache};
+use crate::metrics::ServeMetrics;
 use crate::registry::Dataset;
 use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use aod_core::json::{JsonArray, JsonObject, JsonValue};
@@ -459,6 +460,8 @@ pub struct JobManager {
     /// The shared result cache.
     pub cache: Arc<ResultCache>,
     executed: AtomicU64,
+    rejected: AtomicU64,
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl JobManager {
@@ -471,7 +474,16 @@ impl JobManager {
             max_jobs: max_jobs.max(1),
             cache: Arc::new(ResultCache::new()),
             executed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches the server's metric surface: runner threads then record
+    /// per-dataset job latencies and feed per-dataset discovery sinks.
+    pub fn with_metrics(mut self, metrics: Arc<ServeMetrics>) -> JobManager {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Jobs that actually ran a discovery session (cache hits excluded) —
@@ -483,6 +495,20 @@ impl JobManager {
     /// Total jobs submitted (cache hits included).
     pub fn submitted(&self) -> u64 {
         self.next_id.load(Ordering::Relaxed) - 1
+    }
+
+    /// Jobs rejected at admission because `max_jobs` sessions were already
+    /// running (the 429 path).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently in the `Running` state.
+    pub fn running(&self) -> u64 {
+        lock_or_recover(&self.jobs)
+            .values()
+            .filter(|j| j.status() == JobStatus::Running)
+            .count() as u64
     }
 
     /// Looks a job up by id.
@@ -513,6 +539,7 @@ impl JobManager {
                 .filter(|j| j.status() == JobStatus::Running)
                 .count();
             if running >= self.max_jobs {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err((
                     429,
                     format!("at capacity: {} jobs already running", self.max_jobs),
@@ -527,10 +554,11 @@ impl JobManager {
         self.executed.fetch_add(1, Ordering::Relaxed);
 
         let cache = self.cache.clone();
+        let metrics = self.metrics.clone();
         let runner_job = job.clone();
         let handle = std::thread::Builder::new()
             .name(format!("aod-job-{}", job.id))
-            .spawn(move || run_job(runner_job, dataset, spec, key, cache));
+            .spawn(move || run_job(runner_job, dataset, spec, key, cache, metrics));
         let handle = match handle {
             Ok(handle) => handle,
             Err(e) => {
@@ -601,11 +629,19 @@ fn run_job(
     spec: JobSpec,
     key: crate::cache::CacheKey,
     cache: Arc<ResultCache>,
+    metrics: Option<Arc<ServeMetrics>>,
 ) {
+    let started_us = metrics.as_ref().map(|m| m.now_us());
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let delay = Duration::from_millis(spec.level_delay_ms);
         let cancel = job.cancel.clone();
-        let mut session = spec.to_builder(cancel.clone()).build(&dataset.table);
+        let mut builder = spec.to_builder(cancel.clone());
+        if let Some(m) = &metrics {
+            // Per-dataset discovery instruments; the sink is passive, so
+            // the job's event stream and results stay bit-identical.
+            builder = builder.event_sink(m.discovery_sink(&dataset.name));
+        }
+        let mut session = builder.build(&dataset.table);
         for event in session.by_ref() {
             let level_completed = matches!(event, DiscoveryEvent::LevelComplete(_));
             job.push_event(event.to_json(), level_completed);
@@ -645,6 +681,9 @@ fn run_job(
                 );
             }
             job.finish(result_json, stats_json);
+            if let (Some(m), Some(started)) = (&metrics, started_us) {
+                m.observe_job(&dataset.name, started);
+            }
         }
         Err(panic) => {
             let message = panic

@@ -19,7 +19,8 @@
 //! | method & path | behaviour |
 //! |---------------|-----------|
 //! | `GET /health` | liveness + wire schema version |
-//! | `GET /stats` | request/job/cache counters |
+//! | `GET /stats` | request/job/cache counters, registry occupancy/capacity, admission rejections |
+//! | `GET /metrics` | Prometheus text exposition: per-dataset job-latency histograms and discovery instruments plus the `/stats` counters (see [`metrics`](ServeMetrics)) |
 //! | `POST /datasets` | register `{"name":..., "csv":"path"}` or `{"name":..., "generate":{"dataset":"flight\|ncvoter\|employee","rows":N,"seed":S}}` |
 //! | `GET /datasets` | list registered datasets |
 //! | `GET /datasets/{name}` | one dataset's metadata |
@@ -59,6 +60,7 @@ mod cache;
 pub mod client;
 mod http;
 mod jobs;
+mod metrics;
 mod registry;
 mod server;
 mod sync;
@@ -66,6 +68,7 @@ mod sync;
 pub use cache::{CachedRun, ResultCache, MAX_CACHED_RUNS};
 pub use http::{status_text, ChunkedWriter, HttpError, Request};
 pub use jobs::{Job, JobManager, JobSpec, JobStatus, MAX_RETAINED_JOBS};
+pub use metrics::{ServeMetrics, ServeSnapshot};
 pub use registry::{Dataset, Registry, MAX_DATASETS};
 pub use server::{ServeConfig, Server, ServerHandle};
 

@@ -13,9 +13,10 @@
 //! thread is joined before `run`/`join` returns — the "clean shutdown" the
 //! CI smoke job asserts.
 
-use crate::http::{read_request, write_json, ChunkedWriter, HttpError, Request};
+use crate::http::{read_request, write_json, write_response, ChunkedWriter, HttpError, Request};
 use crate::jobs::{JobManager, JobSpec, JobStatus};
-use crate::registry::Registry;
+use crate::metrics::{ServeMetrics, ServeSnapshot};
+use crate::registry::{Registry, MAX_DATASETS};
 use aod_core::json::{JsonArray, JsonObject, JsonValue};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,10 +47,11 @@ impl Default for ServeConfig {
     }
 }
 
-/// Shared server state: registry, jobs, counters, shutdown flag.
+/// Shared server state: registry, jobs, counters, metrics, shutdown flag.
 struct ServerCtx {
     registry: Registry,
     jobs: JobManager,
+    metrics: Arc<ServeMetrics>,
     shutdown: AtomicBool,
     requests: AtomicU64,
 }
@@ -71,12 +73,14 @@ impl Server {
         } else {
             config.threads
         };
+        let metrics = Arc::new(ServeMetrics::new());
         Ok(Server {
             listener,
             threads,
             ctx: Arc::new(ServerCtx {
                 registry: Registry::new(),
-                jobs: JobManager::new(config.max_jobs),
+                jobs: JobManager::new(config.max_jobs).with_metrics(metrics.clone()),
+                metrics,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
             }),
@@ -225,6 +229,15 @@ fn route(stream: &mut TcpStream, ctx: &Arc<ServerCtx>, request: &Request) {
             "GET" => write_json(stream, 200, &server_stats(ctx)),
             _ => not_allowed(stream),
         },
+        ["metrics"] => match method {
+            "GET" => write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &ctx.metrics.render(&server_snapshot(ctx)),
+            ),
+            _ => not_allowed(stream),
+        },
         ["shutdown"] => match method {
             "POST" => {
                 ctx.shutdown.store(true, Ordering::SeqCst);
@@ -306,15 +319,36 @@ fn route(stream: &mut TcpStream, ctx: &Arc<ServerCtx>, request: &Request) {
     let _ = outcome;
 }
 
+/// One consistent-enough read of every mirrored counter; feeds both
+/// `GET /stats` (JSON) and `GET /metrics` (exposition).
+fn server_snapshot(ctx: &ServerCtx) -> ServeSnapshot {
+    ServeSnapshot {
+        requests: ctx.requests.load(Ordering::Relaxed),
+        datasets: ctx.registry.len() as u64,
+        datasets_capacity: MAX_DATASETS as u64,
+        jobs_submitted: ctx.jobs.submitted(),
+        jobs_executed: ctx.jobs.executed(),
+        jobs_rejected: ctx.jobs.rejected(),
+        jobs_running: ctx.jobs.running(),
+        cache_hits: ctx.jobs.cache.hits(),
+        cache_misses: ctx.jobs.cache.misses(),
+        cache_entries: ctx.jobs.cache.len() as u64,
+    }
+}
+
 fn server_stats(ctx: &ServerCtx) -> String {
+    let snapshot = server_snapshot(ctx);
     let mut obj = JsonObject::new();
-    obj.num_u64("requests", ctx.requests.load(Ordering::Relaxed))
-        .num_u64("datasets", ctx.registry.len() as u64)
-        .num_u64("jobs_submitted", ctx.jobs.submitted())
-        .num_u64("jobs_executed", ctx.jobs.executed())
-        .num_u64("cache_hits", ctx.jobs.cache.hits())
-        .num_u64("cache_misses", ctx.jobs.cache.misses())
-        .num_u64("cache_entries", ctx.jobs.cache.len() as u64);
+    obj.num_u64("requests", snapshot.requests)
+        .num_u64("datasets", snapshot.datasets)
+        .num_u64("registry_capacity", snapshot.datasets_capacity)
+        .num_u64("jobs_submitted", snapshot.jobs_submitted)
+        .num_u64("jobs_executed", snapshot.jobs_executed)
+        .num_u64("jobs_rejected", snapshot.jobs_rejected)
+        .num_u64("jobs_running", snapshot.jobs_running)
+        .num_u64("cache_hits", snapshot.cache_hits)
+        .num_u64("cache_misses", snapshot.cache_misses)
+        .num_u64("cache_entries", snapshot.cache_entries);
     obj.finish()
 }
 

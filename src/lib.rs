@@ -10,6 +10,7 @@
 //! | [`partition`] | attribute sets, stripped partitions, products, cache |
 //! | [`lis`] | LNDS/LIS (patience), inversion counting |
 //! | [`exec`] | work-stealing scoped thread pool for per-level parallelism |
+//! | [`obs`] | dependency-free metrics: counters, gauges, histograms, Prometheus exposition |
 //! | [`validate`] | exact + approximate OC/OFD/OD validators (Algorithms 1 & 2, hybrid sampling) |
 //! | [`core`] | the set-based lattice discovery framework |
 //! | [`tane`] | TANE-style (approximate) FD discovery baseline |
@@ -66,6 +67,9 @@ pub use aod_lis as lis;
 
 /// Work-stealing scoped executor (re-export of `aod-exec`).
 pub use aod_exec as exec;
+
+/// Metrics and structured observability (re-export of `aod-obs`).
+pub use aod_obs as obs;
 
 /// Dependency validators (re-export of `aod-validate`).
 pub use aod_validate as validate;

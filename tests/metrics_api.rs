@@ -1,0 +1,263 @@
+//! End-to-end tests for `GET /metrics` (Prometheus text exposition) and
+//! the extended `GET /stats` counters, over real loopback sockets.
+//!
+//! The acceptance bar: the scrape is structurally valid exposition text
+//! (HELP/TYPE before samples, parseable values, no duplicate series),
+//! carries the per-dataset job-latency histogram and the discovery
+//! instruments populated by the job's event sink, and every cumulative
+//! series is monotone across scrapes — including when a scrape races a
+//! stale snapshot.
+
+use aod::serve::client::request;
+use aod::serve::{ServeConfig, Server, ServerHandle, MAX_DATASETS};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn start_server() -> ServerHandle {
+    let server = Server::bind(&ServeConfig {
+        bind: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        max_jobs: 4,
+    })
+    .expect("bind ephemeral port");
+    server.spawn().expect("spawn workers")
+}
+
+fn register_employee(addr: SocketAddr, name: &str) {
+    let body = format!(r#"{{"name":"{name}","generate":{{"dataset":"employee"}}}}"#);
+    let r = request(addr, "POST", "/datasets", Some(&body)).unwrap();
+    assert_eq!(r.status, 201, "{}", r.body);
+}
+
+fn run_job(addr: SocketAddr, body: &str) -> u64 {
+    let r = request(addr, "POST", "/jobs", Some(body)).unwrap();
+    assert_eq!(r.status, 201, "{}", r.body);
+    let id = r.json().unwrap().get("id").unwrap().as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let r = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        let status = r
+            .json()
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        if status != "running" {
+            assert_eq!(status, "done", "{}", r.body);
+            return id;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Parses a scrape into `series -> value` while asserting exposition
+/// structure: every sample belongs to a family announced by `# HELP` and
+/// `# TYPE` lines, values parse as floats, and no series repeats.
+fn parse_exposition(text: &str) -> BTreeMap<String, f64> {
+    let mut samples = BTreeMap::new();
+    let mut announced: Vec<(String, String)> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap().to_string();
+            assert!(pending_help.is_none(), "HELP without TYPE before {line}");
+            pending_help = Some(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap().to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind in {line}"
+            );
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name.as_str()),
+                "TYPE not immediately after its HELP: {line}"
+            );
+            announced.push((name, kind));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().expect("sample value parses");
+        let name = series.split('{').next().unwrap();
+        let family = announced.iter().find(|(n, kind)| match kind.as_str() {
+            "histogram" => {
+                name == format!("{n}_bucket")
+                    || name == format!("{n}_sum")
+                    || name == format!("{n}_count")
+            }
+            _ => name == n,
+        });
+        assert!(family.is_some(), "sample `{series}` has no HELP/TYPE");
+        assert!(
+            samples.insert(series.to_string(), value).is_none(),
+            "duplicate series `{series}`"
+        );
+    }
+    samples
+}
+
+fn scrape(addr: SocketAddr) -> BTreeMap<String, f64> {
+    let r = request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let content_type = r
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default();
+    assert!(
+        content_type.starts_with("text/plain"),
+        "wrong content type: {content_type}"
+    );
+    parse_exposition(&r.body)
+}
+
+/// Cumulative series (counters and histogram cells) must never regress
+/// between two scrapes; gauges are exempt.
+fn assert_monotone(first: &BTreeMap<String, f64>, second: &BTreeMap<String, f64>) {
+    for (series, value) in first {
+        let cumulative = series.contains("_total")
+            || series.contains("_bucket")
+            || series.contains("_sum{")
+            || series.ends_with("_sum")
+            || series.contains("_count{")
+            || series.ends_with("_count");
+        if !cumulative {
+            continue;
+        }
+        let now = second
+            .get(series)
+            .unwrap_or_else(|| panic!("series `{series}` vanished between scrapes"));
+        assert!(
+            now >= value,
+            "cumulative series `{series}` regressed: {value} -> {now}"
+        );
+    }
+}
+
+#[test]
+fn metrics_scrape_carries_job_histograms_and_discovery_instruments() {
+    let handle = start_server();
+    let addr = handle.addr();
+    register_employee(addr, "emp");
+    run_job(addr, r#"{"dataset":"emp","config":{"epsilon":0.15}}"#);
+
+    let first = scrape(addr);
+    // The finished job landed in the per-dataset latency histogram.
+    assert_eq!(
+        first.get("aod_serve_job_duration_us_count{dataset=\"emp\"}"),
+        Some(&1.0)
+    );
+    let inf = first
+        .get("aod_serve_job_duration_us_bucket{dataset=\"emp\",le=\"+Inf\"}")
+        .expect("+Inf bucket present");
+    assert_eq!(*inf, 1.0);
+    // The event sink fed the discovery instruments for this dataset.
+    assert!(first["aod_discovery_ocs_found_total{dataset=\"emp\"}"] > 0.0);
+    assert!(first["aod_discovery_levels_completed_total{dataset=\"emp\"}"] >= 1.0);
+    assert!(first["aod_discovery_oc_candidates_total{dataset=\"emp\"}"] > 0.0);
+    // Per-phase timing histograms exist for every phase label.
+    for phase in ["oc_validation", "ofd_validation", "partitioning"] {
+        let series =
+            format!("aod_discovery_phase_duration_us_count{{dataset=\"emp\",phase=\"{phase}\"}}");
+        assert!(first[&series] >= 1.0, "missing phase series {series}");
+    }
+    // Mirrored serve counters are present and plausible.
+    assert!(first["aod_serve_requests_total"] >= 3.0);
+    assert_eq!(first["aod_serve_jobs_submitted_total"], 1.0);
+    assert_eq!(first["aod_serve_jobs_executed_total"], 1.0);
+    assert_eq!(first["aod_serve_datasets"], 1.0);
+    assert_eq!(first["aod_serve_datasets_capacity"], MAX_DATASETS as f64);
+
+    // A cache-hit resubmission and a fresh config both move counters the
+    // right way, and nothing cumulative regresses.
+    run_job(addr, r#"{"dataset":"emp","config":{"epsilon":0.15}}"#);
+    run_job(
+        addr,
+        r#"{"dataset":"emp","config":{"epsilon":0.1,"max_level":3}}"#,
+    );
+    let second = scrape(addr);
+    assert_monotone(&first, &second);
+    assert_eq!(second["aod_serve_jobs_submitted_total"], 3.0);
+    assert_eq!(second["aod_serve_jobs_executed_total"], 2.0);
+    assert!(second["aod_serve_cache_hits_total"] >= 1.0);
+    assert_eq!(
+        second["aod_serve_job_duration_us_count{dataset=\"emp\"}"], 2.0,
+        "cache hits must not observe job latency"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stats_reports_occupancy_capacity_and_rejections() {
+    let handle = start_server();
+    let addr = handle.addr();
+    register_employee(addr, "emp");
+    let stats = request(addr, "GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(stats.get("datasets").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        stats.get("registry_capacity").unwrap().as_u64(),
+        Some(MAX_DATASETS as u64)
+    );
+    assert_eq!(stats.get("jobs_rejected").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("jobs_running").unwrap().as_u64(), Some(0));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn admission_rejections_are_counted_in_stats_and_metrics() {
+    // max_jobs = 1 and paced jobs make overflow deterministic.
+    let server = Server::bind(&ServeConfig {
+        bind: "127.0.0.1".to_string(),
+        port: 0,
+        threads: 2,
+        max_jobs: 1,
+    })
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+    register_employee(addr, "emp");
+    let slow = r#"{"dataset":"emp","config":{"epsilon":0.1,"level_delay_ms":1500}}"#;
+    let r = request(addr, "POST", "/jobs", Some(slow)).unwrap();
+    assert_eq!(r.status, 201, "{}", r.body);
+    let id = r.json().unwrap().get("id").unwrap().as_u64().unwrap();
+
+    // While it runs, a second distinct job must be rejected with 429.
+    let overflow = r#"{"dataset":"emp","config":{"epsilon":0.2,"level_delay_ms":1500}}"#;
+    let rejected = request(addr, "POST", "/jobs", Some(overflow)).unwrap();
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+
+    let stats = request(addr, "GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(stats.get("jobs_rejected").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("jobs_running").unwrap().as_u64(), Some(1));
+    let metrics = scrape(addr);
+    assert_eq!(metrics["aod_serve_jobs_rejected_total"], 1.0);
+    assert_eq!(metrics["aod_serve_jobs_running"], 1.0);
+
+    // Let the paced job finish cleanly before shutdown.
+    let _ = request(addr, "DELETE", &format!("/jobs/{id}"), None);
+    handle.shutdown();
+    handle.join();
+}
