@@ -15,6 +15,7 @@ const BOOL_FLAGS: &[&str] = &[
     "progress",
     "show-removals",
     "no-header",
+    "once",
     "help",
 ];
 
@@ -37,6 +38,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "port",
     "bind",
     "max-jobs",
+    "trace",
+    "interval",
 ];
 
 /// Parsed command line.
@@ -275,6 +278,24 @@ mod tests {
             .collect();
         let err = Args::parse(&argv).unwrap_err();
         assert!(err.contains("--strategy needs a value"), "{err}");
+    }
+
+    #[test]
+    fn trace_and_monitor_options_parse_strictly() {
+        let a = parse(&["discover", "f.csv", "--trace", "out.json"]);
+        assert_eq!(a.value("trace"), Some("out.json"));
+        let a = parse(&["monitor", "127.0.0.1:7171", "--interval", "5", "--once"]);
+        assert_eq!(a.command, "monitor");
+        assert_eq!(a.positional, vec!["127.0.0.1:7171"]);
+        assert_eq!(a.int("interval").unwrap(), Some(5));
+        assert!(a.flag("once"));
+        // `--trace` takes a path; it must never swallow a following flag.
+        let argv: Vec<String> = ["discover", "--trace", "--progress", "f.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = Args::parse(&argv).unwrap_err();
+        assert!(err.contains("--trace needs a value"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * `aod serve [file.csv ...] --port P` — run the resident HTTP discovery
 //!   service (`aod-serve`): dataset registry, background jobs, streaming
 //!   NDJSON events, result cache.
+//! * `aod monitor <host:port>` — a live text dashboard over a running
+//!   server's `GET /metrics` scrape: jobs running, executor queue depth,
+//!   candidate throughput, per-phase time split.
 //!
 //! Argument parsing is hand-rolled (the offline dependency policy excludes
 //! `clap`); see [`Args`].
@@ -40,13 +43,14 @@ USAGE:
                [--iterative] [--exact]
                [--max-level N] [--timeout S] [--top K] [--top-k K]
                [--threads N] [--columns C1,C2,...] [--progress] [--ofds]
-               [--no-header]
+               [--trace FILE] [--no-header]
   aod validate <file.csv> --pair A,B [--context C1,C2,...] [--epsilon E]
                [--od] [--iterative] [--show-removals] [--no-header]
   aod generate <flight|ncvoter|employee> [--rows N] [--seed S] [--out FILE]
   aod outliers <file.csv> [--epsilon E] [--top K] [--no-header]
   aod serve [file.csv ...] [--port P] [--bind ADDR] [--threads N]
             [--max-jobs M]
+  aod monitor <host:port> [--interval S] [--once]
 
 OPTIONS:
   --epsilon E       approximation threshold in [0,1] (default 0.1)
@@ -67,6 +71,8 @@ OPTIONS:
   --columns C1,...  discover only over these columns
   --progress        stream per-level progress to stderr while running
   --ofds            also print discovered OFDs
+  --trace FILE      write a span trace of the run as Chrome trace-event
+                    JSON (open in Perfetto / chrome://tracing)
   --pair A,B        the candidate pair (column names)
   --context C1,...  context column names (default: empty context)
   --od              validate as OD (splits + swaps) instead of OC
@@ -79,6 +85,9 @@ OPTIONS:
   --bind ADDR       serve: interface to bind (default 127.0.0.1)
   --max-jobs M      serve: max concurrently running jobs (default 4)
                     (for serve, --threads N sets accept workers; 0 = cores)
+  --interval S      monitor: seconds between scrapes (default 2)
+  --once            monitor: render a single frame from two scrapes, then
+                    exit (scripts and CI)
 ";
 
 fn main() -> ExitCode {
@@ -102,6 +111,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "outliers" => cmd_outliers(&args),
         "serve" => cmd_serve(&args),
+        "monitor" => cmd_monitor(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -190,6 +200,20 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
         }
         builder = builder.scope(scope);
     }
+    // --trace records a deterministic span hierarchy (job → level → phase
+    // → candidate batch) alongside the run; it never changes the
+    // discovered dependencies.
+    let trace_sink = args.value("trace").map(|path| {
+        let clock: std::sync::Arc<dyn aod_obs::Clock> =
+            std::sync::Arc::new(aod_obs::MonotonicClock::new());
+        (
+            path.to_string(),
+            std::sync::Arc::new(aod_obs::TraceSink::new(clock)),
+        )
+    });
+    if let Some((_, sink)) = &trace_sink {
+        builder = builder.trace_sink(std::sync::Arc::clone(sink));
+    }
 
     let result = if args.flag("progress") {
         // --progress narrates from the same observability surface
@@ -210,6 +234,15 @@ fn cmd_discover(args: &Args) -> Result<(), String> {
     } else {
         builder.run(&ranked)
     };
+    if let Some((path, sink)) = &trace_sink {
+        let spans = sink.spans();
+        std::fs::write(path, aod_core::chrome_trace(&spans))
+            .map_err(|e| format!("writing trace `{path}`: {e}"))?;
+        eprintln!(
+            "wrote {} spans to {path} (open in Perfetto or chrome://tracing)",
+            spans.len()
+        );
+    }
     let names = table.schema().names();
     let top = args.int("top")?.unwrap_or(usize::MAX);
 
@@ -473,6 +506,107 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
          POST /shutdown to stop)"
     );
     server.run().map_err(|e| e.to_string())
+}
+
+/// `aod monitor <host:port>`: a live text dashboard over a running
+/// server's `GET /metrics`.
+///
+/// Each frame is the delta between two consecutive scrapes, read back
+/// through the conformant [`aod_obs::Scrape`] parser: jobs currently
+/// running, executor queue depth summed over datasets, candidate
+/// throughput, and the per-phase time split — the same figures
+/// `--progress` narrates in-process, but observed from the outside with
+/// no privileged access. Elapsed time between scrapes comes from the
+/// injectable [`aod_obs::Clock`] family, like every other timing in the
+/// observability layer.
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    use aod_obs::Clock;
+    use std::net::ToSocketAddrs;
+    let target = args
+        .positional
+        .first()
+        .ok_or("missing server address (aod monitor <host:port>)")?;
+    let bare = target
+        .strip_prefix("http://")
+        .unwrap_or(target)
+        .trim_end_matches('/');
+    let addr = bare
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving `{bare}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{bare}` resolved to no address"))?;
+    let interval = args.int("interval")?.unwrap_or(2).max(1) as u64;
+    let once = args.flag("once");
+    let clock = aod_obs::MonotonicClock::new();
+    let scrape = || -> Result<aod_obs::Scrape, String> {
+        let response = aod_serve::client::request(addr, "GET", "/metrics", None)
+            .map_err(|e| format!("scraping http://{bare}/metrics: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("GET /metrics answered {}", response.status));
+        }
+        aod_obs::Scrape::parse(&response.body).map_err(|e| format!("parsing /metrics: {e}"))
+    };
+    eprintln!("monitoring http://{bare}/metrics every {interval}s (ctrl-c to stop)");
+    // Monitors are often started alongside the server; retry the first
+    // scrape for a few seconds instead of racing the bind. Later
+    // failures are fatal — a dead server mid-watch should be loud.
+    let mut prev = loop {
+        match scrape() {
+            Ok(scrape) => break scrape,
+            Err(_) if clock.now_us() < 10_000_000 => {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let mut prev_us = clock.now_us();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+        let current = scrape()?;
+        let now_us = clock.now_us();
+        render_monitor_frame(&prev, &current, now_us.saturating_sub(prev_us).max(1));
+        prev = current;
+        prev_us = now_us;
+        if once {
+            return Ok(());
+        }
+    }
+}
+
+/// One monitor frame: the delta between two scrapes over `elapsed_us`.
+fn render_monitor_frame(prev: &aod_obs::Scrape, current: &aod_obs::Scrape, elapsed_us: u64) {
+    // Per-dataset series fold into one figure; a job's phase histograms
+    // carry `{dataset=...,phase=...}` so the phase split filters on the
+    // phase label across all datasets.
+    let phase_sum = |scrape: &aod_obs::Scrape, phase: Phase| -> f64 {
+        scrape
+            .series("aod_discovery_phase_duration_us_sum")
+            .filter(|s| {
+                s.labels
+                    .iter()
+                    .any(|(k, v)| k == "phase" && v == phase.name())
+            })
+            .map(|s| s.value)
+            .sum()
+    };
+    let jobs_running = current.value("aod_serve_jobs_running", &[]).unwrap_or(0.0);
+    // An empty fold is `-0.0` (std's float sum identity); clamp so an
+    // idle server reads `0`, not `-0`.
+    let queue_depth = current.sum("aod_exec_queue_depth").max(0.0);
+    let candidates = current.sum("aod_discovery_oc_candidates_total")
+        - prev.sum("aod_discovery_oc_candidates_total");
+    let rate = candidates.max(0.0) * 1e6 / elapsed_us as f64;
+    let split = Phase::ALL.map(|p| (phase_sum(current, p) - phase_sum(prev, p)).max(0.0));
+    let split_total = split.iter().sum::<f64>().max(1.0);
+    println!(
+        "jobs {:>2} | queue {:>4} | {:>7.0} cand/s | oc {:>2.0}% ofd {:>2.0}% part {:>2.0}%",
+        jobs_running,
+        queue_depth,
+        rate,
+        100.0 * split[0] / split_total,
+        100.0 * split[1] / split_total,
+        100.0 * split[2] / split_total,
+    );
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {

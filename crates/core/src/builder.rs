@@ -48,6 +48,7 @@ pub struct DiscoveryBuilder {
     parallelism: usize,
     sink: Option<Arc<dyn EventSink>>,
     queue_gauge: Option<aod_obs::Gauge>,
+    trace: Option<Arc<aod_obs::TraceSink>>,
 }
 
 impl Default for DiscoveryBuilder {
@@ -66,6 +67,7 @@ impl Default for DiscoveryBuilder {
             parallelism: 1,
             sink: None,
             queue_gauge: None,
+            trace: None,
         }
     }
 }
@@ -206,6 +208,19 @@ impl DiscoveryBuilder {
         self
     }
 
+    /// Attaches a span-trace sink: the session records a deterministic
+    /// job → level → phase → candidate-batch span hierarchy into it (see
+    /// [`aod_obs::trace`]), exportable via
+    /// [`chrome_trace`](crate::chrome_trace) /
+    /// [`trace_ndjson`](crate::trace_ndjson). Purely passive — discovery
+    /// outputs are bit-identical with or without tracing — and under a
+    /// manual clock the recorded spans are byte-stable across thread
+    /// counts.
+    pub fn trace_sink(mut self, trace: Arc<aod_obs::TraceSink>) -> DiscoveryBuilder {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Whether the session buffers [`DiscoveryEvent`](crate::DiscoveryEvent)s
     /// (default `true`). Disable when driving the session purely through
     /// [`step`](DiscoverySession::step) so unobserved events don't
@@ -259,6 +274,7 @@ impl DiscoveryBuilder {
             record_events: self.record_events,
             sink: self.sink,
             queue_gauge: self.queue_gauge,
+            trace: self.trace,
         };
         DiscoverySession::new(table, config, options)
     }

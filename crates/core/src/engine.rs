@@ -67,6 +67,7 @@ use crate::result::DiscoveryResult;
 use crate::sink::{EventSink, Phase};
 use crate::stats::{DiscoveryStats, LevelStats};
 use aod_exec::Executor;
+use aod_obs::trace::{span_id, Span, TraceSink};
 use aod_partition::{AttrSet, PartitionCache, MAX_ATTRS};
 use aod_table::RankedTable;
 use aod_validate::{min_removal_ofd, removal_budget, OcValidatorBackend, SampleVerdict};
@@ -191,6 +192,21 @@ pub(crate) struct SessionOptions {
     pub sink: Option<Arc<dyn EventSink>>,
     /// Queue-depth gauge handed to the executor (parallel runs only).
     pub queue_gauge: Option<aod_obs::Gauge>,
+    /// Span-trace sink; `None` keeps every tracing site to a single branch.
+    pub trace: Option<Arc<TraceSink>>,
+}
+
+/// Per-node trace timings collected on the driving thread while a level
+/// runs, then laid out as candidate-batch spans at the level barrier.
+/// Entries exist only for **fully processed** nodes (an interruption cut
+/// skips the cut node in both drivers), keeping the recorded spans
+/// identical across thread counts.
+struct NodeTrace {
+    node: usize,
+    ofd_us: u64,
+    oc_us: u64,
+    n_ofd: usize,
+    n_oc: usize,
 }
 
 /// A resumable, observable discovery run over one table.
@@ -222,6 +238,13 @@ pub struct DiscoverySession<'t> {
     events: VecDeque<DiscoveryEvent>,
     record_events: bool,
     sink: Option<Arc<dyn EventSink>>,
+    trace: Option<Arc<TraceSink>>,
+    /// Trace-clock reading at session construction (job span start).
+    trace_started_us: u64,
+    /// Latest span end recorded so far; the job span must enclose it.
+    trace_end_us: u64,
+    /// Per-node timings of the level in flight (cleared each step).
+    level_trace: Vec<NodeTrace>,
     start: Instant,
     finished: Option<StopReason>,
 }
@@ -258,6 +281,9 @@ impl<'t> DiscoverySession<'t> {
         if let Some(gauge) = options.queue_gauge {
             exec = exec.with_queue_gauge(gauge);
         }
+        if let Some(trace) = &options.trace {
+            exec = exec.with_trace(Arc::clone(trace));
+        }
         let threads_used = exec.threads();
         let executor = (threads_used > 1).then_some(exec);
         let stats = DiscoveryStats {
@@ -282,6 +308,10 @@ impl<'t> DiscoverySession<'t> {
             ofds: Vec::new(),
             events: VecDeque::new(),
             record_events: options.record_events,
+            trace_started_us: options.trace.as_ref().map_or(0, |t| t.now_us()),
+            trace_end_us: 0,
+            level_trace: Vec::new(),
+            trace: options.trace,
             sink: options.sink,
             start: Instant::now(),
             finished: None,
@@ -337,18 +367,23 @@ impl<'t> DiscoverySession<'t> {
         }
         if self.frontier.is_empty() {
             self.finish(StopReason::Exhausted);
+            self.record_job_trace();
             return None;
         }
         if self.top_k.is_some_and(|k| self.ocs.len() >= k) {
             self.finish(StopReason::TopK);
+            self.record_job_trace();
             return None;
         }
 
         let level = self.frontier.level;
-        self.stats.level_mut(level).n_nodes = self.frontier.nodes.len();
+        let n_nodes = self.frontier.nodes.len();
+        self.stats.level_mut(level).n_nodes = n_nodes;
         if let Some(sink) = &self.sink {
-            sink.on_level_start(level, self.frontier.nodes.len());
+            sink.on_level_start(level, n_nodes);
         }
+        let trace_level_start = self.trace.as_ref().map(|t| t.now_us());
+        self.level_trace.clear();
         // Baseline for per-phase deltas: the cumulative phase timers grow
         // monotonically, so this level's share is (after − before).
         let phase_before = [
@@ -368,6 +403,7 @@ impl<'t> DiscoverySession<'t> {
             stop: None,
         };
 
+        let mut partition_trace_us = 0u64;
         match stop {
             Some(reason) => {
                 match reason {
@@ -393,6 +429,7 @@ impl<'t> DiscoverySession<'t> {
                 if self.config.max_level.is_some_and(|m| level >= m) {
                     self.finish(StopReason::MaxLevel);
                 } else {
+                    let trace_part_t0 = self.trace.as_ref().map(|t| t.now_us());
                     self.frontier.advance(
                         &self.config.prune,
                         &self.prune,
@@ -401,6 +438,9 @@ impl<'t> DiscoverySession<'t> {
                         &mut self.stats,
                         self.executor.as_ref(),
                     );
+                    if let (Some(trace), Some(t0)) = (&self.trace, trace_part_t0) {
+                        partition_trace_us = trace.now_us().saturating_sub(t0);
+                    }
                     if self.frontier.is_empty() {
                         self.finish(StopReason::Exhausted);
                     }
@@ -423,6 +463,14 @@ impl<'t> DiscoverySession<'t> {
                     after.saturating_sub(before).as_micros() as u64,
                 );
             }
+        }
+        if let (Some(trace), Some(level_start)) = (self.trace.clone(), trace_level_start) {
+            self.record_level_trace(&trace, level, level_start, n_nodes, partition_trace_us);
+        }
+        if self.finished.is_some() {
+            // The session finished during this step (it was unfinished on
+            // entry), so this records the root span exactly once.
+            self.record_job_trace();
         }
         outcome.stop = self.finished;
         if outcome.completed {
@@ -449,26 +497,35 @@ impl<'t> DiscoverySession<'t> {
                 }
             }
             let set = self.frontier.nodes[idx].set;
+            let trace_t0 = self.trace.as_ref().map(|t| t.now_us());
+            let (mut n_ofd, mut n_oc) = (0usize, 0usize);
 
             // --- OFD candidates: X\{A}: [] |-> A for A in X ∩ Cc+(X) ---
             for a in ofd_candidates(&self.frontier.nodes[idx]) {
+                n_ofd += 1;
                 if self.validate_ofd(level, set, a) {
                     // TANE pruning: Cc+(X) := (Cc+(X) ∩ X) \ {A}.
                     let node = &mut self.frontier.nodes[idx];
                     node.rhs = node.rhs.intersect(set).without(a);
                 }
             }
+            let trace_t1 = self.trace.as_ref().map(|t| t.now_us());
 
             // --- OC candidates: X\{A,B}: A ~ B for pairs {A,B} ⊆ X ---
             if level >= 2 {
                 for cand in oc_candidates(set) {
+                    n_oc += 1;
                     self.validate_oc(level, cand);
                     if self.top_k.is_some_and(|k| self.ocs.len() >= k) {
+                        // The cut node gets no trace entry — the parallel
+                        // merge cuts before its entry too, keeping the
+                        // recorded spans thread-count identical.
                         stop = Some(StopReason::TopK);
                         break 'nodes;
                     }
                 }
             }
+            let trace_t2 = self.trace.as_ref().map(|t| t.now_us());
 
             // Record key-ness for R4 lookups and deadness checks.
             if self
@@ -478,6 +535,16 @@ impl<'t> DiscoverySession<'t> {
                 .is_key()
             {
                 self.prune.record_key(set);
+            }
+
+            if let (Some(t0), Some(t1), Some(t2)) = (trace_t0, trace_t1, trace_t2) {
+                self.level_trace.push(NodeTrace {
+                    node: idx,
+                    ofd_us: t1.saturating_sub(t0),
+                    oc_us: t2.saturating_sub(t1),
+                    n_ofd,
+                    n_oc,
+                });
             }
         }
         stop
@@ -504,6 +571,7 @@ impl<'t> DiscoverySession<'t> {
             cancel: &self.cancel,
             timeout: self.config.timeout,
             start: self.start,
+            clock: self.trace.as_ref().map(|t| t.clock().as_ref()),
         };
         let results = exec.par_map_with_state(backends, &nodes, |backend, _idx, node| {
             // Same per-node stop checks as the sequential driver; an
@@ -540,6 +608,13 @@ impl<'t> DiscoverySession<'t> {
             let set = nodes[idx].set;
             self.stats.ofd_validation += eval.ofd_time;
             self.stats.oc_validation += eval.oc_time;
+            let node_trace = self.trace.is_some().then_some(NodeTrace {
+                node: idx,
+                ofd_us: eval.ofd_clock_us,
+                oc_us: eval.oc_clock_us,
+                n_ofd: eval.ofds.len(),
+                n_oc: eval.ocs.len(),
+            });
 
             for ofd in eval.ofds {
                 self.stats.level_mut(level).n_ofd_candidates += 1;
@@ -601,8 +676,123 @@ impl<'t> DiscoverySession<'t> {
             if eval.is_key {
                 self.prune.record_key(set);
             }
+
+            // Reached only for fully merged nodes: the top-k cut above
+            // breaks first, mirroring the sequential driver's skipped
+            // trace entry for the cut node.
+            if let Some(entry) = node_trace {
+                self.level_trace.push(entry);
+            }
         }
         stop
+    }
+
+    /// Lays out this level's spans at the level barrier, from the
+    /// [`NodeTrace`] entries both drivers collect identically.
+    ///
+    /// Layout is the *sequential attribution view*: phase spans sit
+    /// end-to-end from the level start in [`Phase::ALL`] order, each
+    /// phase's candidate-batch spans sit end-to-end within it, and every
+    /// parent's end is pushed to `max(own bracket, children)` — so
+    /// child-within-parent nesting holds by construction under any clock,
+    /// even when parallel per-node CPU sums exceed the level's wall time.
+    /// Recording order is parent-first and fully deterministic.
+    fn record_level_trace(
+        &mut self,
+        trace: &TraceSink,
+        level: usize,
+        level_start: u64,
+        n_nodes: usize,
+        partition_us: u64,
+    ) {
+        let level_id = span_id::level(level);
+        let mut phase_spans = Vec::new();
+        let mut batch_spans = Vec::new();
+        let mut cursor = level_start;
+        for (phase_idx, phase) in Phase::ALL.into_iter().enumerate() {
+            let phase_id = span_id::phase(level, phase_idx);
+            let phase_start = cursor;
+            let mut phase_us = 0u64;
+            match phase {
+                Phase::OcValidation | Phase::OfdValidation => {
+                    let oc = matches!(phase, Phase::OcValidation);
+                    for entry in &self.level_trace {
+                        let (us, candidates) = if oc {
+                            (entry.oc_us, entry.n_oc)
+                        } else {
+                            (entry.ofd_us, entry.n_ofd)
+                        };
+                        if candidates == 0 {
+                            continue;
+                        }
+                        batch_spans.push(Span {
+                            id: span_id::batch(level, entry.node, phase_idx),
+                            parent: phase_id,
+                            name: "candidates",
+                            cat: "batch",
+                            tid: 0,
+                            start_us: phase_start + phase_us,
+                            dur_us: us,
+                            args: vec![
+                                ("node", entry.node as u64),
+                                ("candidates", candidates as u64),
+                            ],
+                        });
+                        phase_us += us;
+                    }
+                }
+                Phase::Partitioning => phase_us = partition_us,
+            }
+            phase_spans.push(Span {
+                id: phase_id,
+                parent: level_id,
+                name: phase.name(),
+                cat: "phase",
+                tid: 0,
+                start_us: phase_start,
+                dur_us: phase_us,
+                args: vec![("level", level as u64)],
+            });
+            cursor = phase_start + phase_us;
+        }
+        let end = trace.now_us().max(cursor);
+        trace.record(Span {
+            id: level_id,
+            parent: span_id::JOB,
+            name: "level",
+            cat: "level",
+            tid: 0,
+            start_us: level_start,
+            dur_us: end.saturating_sub(level_start),
+            args: vec![("level", level as u64), ("nodes", n_nodes as u64)],
+        });
+        for span in phase_spans {
+            trace.record(span);
+        }
+        for span in batch_spans {
+            trace.record(span);
+        }
+        self.trace_end_us = self.trace_end_us.max(end);
+    }
+
+    /// Records the root job span once the session finishes; its end is
+    /// pushed to enclose every recorded child.
+    fn record_job_trace(&mut self) {
+        let Some(trace) = &self.trace else { return };
+        let end = trace.now_us().max(self.trace_end_us);
+        trace.record(Span {
+            id: span_id::JOB,
+            parent: 0,
+            name: "discover",
+            cat: "job",
+            tid: 0,
+            start_us: self.trace_started_us,
+            dur_us: end.saturating_sub(self.trace_started_us),
+            args: vec![
+                ("ocs", self.ocs.len() as u64),
+                ("ofds", self.ofds.len() as u64),
+            ],
+        });
     }
 
     /// Validates one OFD candidate; returns `true` when it holds (the

@@ -70,6 +70,7 @@ mod repair;
 mod result;
 pub mod sink;
 mod stats;
+pub mod trace_export;
 pub mod wire;
 
 pub use builder::DiscoveryBuilder;
@@ -83,6 +84,7 @@ pub use repair::{cleaning_candidates, outlier_report, OutlierReport};
 pub use result::DiscoveryResult;
 pub use sink::{DiscoveryMetrics, EventSink, NoopSink, Phase};
 pub use stats::{DiscoveryStats, LevelStats};
+pub use trace_export::{chrome_trace, trace_ndjson};
 pub use wire::SCHEMA_VERSION;
 
 // Re-exports so callers can configure runs and inspect lattices with one import.

@@ -36,6 +36,7 @@ use crate::config::{Mode, PruneConfig};
 use crate::engine::{CancelToken, StopReason};
 use crate::frontier::Node;
 use crate::prune_state::{PruneRule, PruneState};
+use aod_obs::Clock;
 use aod_partition::FrozenPartitions;
 use aod_table::RankedTable;
 use aod_validate::{min_removal_ofd, OcValidatorBackend, SampleVerdict};
@@ -54,6 +55,10 @@ pub(crate) struct LevelCtx<'a> {
     pub cancel: &'a CancelToken,
     pub timeout: Option<Duration>,
     pub start: Instant,
+    /// The trace sink's clock when tracing; per-node trace timing brackets
+    /// come from here (never from the `Instant`-based stats timers, which
+    /// stay nondeterministic even under a manual clock).
+    pub clock: Option<&'a dyn Clock>,
 }
 
 /// One OFD candidate's verdict (`removed.is_some()` ⇔ it holds).
@@ -86,6 +91,12 @@ pub(crate) struct NodeEval {
     pub is_key: bool,
     pub ofd_time: Duration,
     pub oc_time: Duration,
+    /// Trace-clock micros the OFD section took (0 unless tracing). Under a
+    /// manual clock every worker reads the same value, so these fields —
+    /// unlike the `Instant`-based timers above — are thread-count stable.
+    pub ofd_clock_us: u64,
+    /// Trace-clock micros the OC section took (0 unless tracing).
+    pub oc_clock_us: u64,
 }
 
 /// A worker's result for one claimed node.
@@ -109,6 +120,7 @@ pub(crate) fn eval_node(
     let set = node.set;
     let mut ofd_time = Duration::ZERO;
     let mut oc_time = Duration::ZERO;
+    let trace_t0 = ctx.clock.map(Clock::now_us);
 
     // --- OFD candidates: X\{A}: [] |-> A for A in X ∩ Cc+(X) ---
     let mut ofds = Vec::new();
@@ -140,6 +152,8 @@ pub(crate) fn eval_node(
             coverage,
         });
     }
+
+    let trace_t1 = ctx.clock.map(Clock::now_us);
 
     // --- OC candidates: X\{A,B}: A ~ B for pairs {A,B} ⊆ X ---
     let mut ocs = Vec::new();
@@ -177,11 +191,19 @@ pub(crate) fn eval_node(
         }
     }
 
+    let trace_t2 = ctx.clock.map(Clock::now_us);
+
     let is_key = ctx
         .view
         .get(set)
         .expect("node partition is in the frozen view")
         .is_key();
+
+    let (mut ofd_clock_us, mut oc_clock_us) = (0, 0);
+    if let (Some(t0), Some(t1), Some(t2)) = (trace_t0, trace_t1, trace_t2) {
+        ofd_clock_us = t1.saturating_sub(t0);
+        oc_clock_us = t2.saturating_sub(t1);
+    }
 
     NodeEval {
         ofds,
@@ -189,6 +211,8 @@ pub(crate) fn eval_node(
         is_key,
         ofd_time,
         oc_time,
+        ofd_clock_us,
+        oc_clock_us,
     }
 }
 

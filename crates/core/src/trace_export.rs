@@ -1,0 +1,144 @@
+//! Serializers for [`aod_obs::trace`] spans.
+//!
+//! Two formats over the same [`Span`] list, both written with the shared
+//! escape-correct [`crate::json`] writer:
+//!
+//! * [`trace_ndjson`] — one JSON object per line carrying the full span
+//!   model (ids, parent links, lane, args). The machine-friendly form:
+//!   grep-able, streamable, lossless.
+//! * [`chrome_trace`] — the Chrome `trace_event` format (complete `"X"`
+//!   events inside a `traceEvents` array), which Perfetto and
+//!   `chrome://tracing` open directly. Parent links are implied by
+//!   interval containment per `tid` lane, which the engine guarantees by
+//!   construction.
+//!
+//! Both outputs are byte-deterministic functions of the span list: field
+//! order is fixed, numbers are integers, and span content is deterministic
+//! by the [`aod_obs::trace`] contract — so a `ManualClock`-driven trace
+//! serializes to identical bytes across runs and thread counts.
+
+use crate::json::{JsonArray, JsonObject};
+use aod_obs::trace::Span;
+
+fn args_object(span: &Span) -> String {
+    let mut args = JsonObject::new();
+    for (key, value) in &span.args {
+        args.num_u64(key, *value);
+    }
+    args.finish()
+}
+
+/// Renders spans as NDJSON: one object per line, in list order, with a
+/// trailing newline after every line.
+pub fn trace_ndjson(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let mut obj = JsonObject::new();
+        obj.num_u64("id", span.id)
+            .num_u64("parent", span.parent)
+            .str("name", span.name)
+            .str("cat", span.cat)
+            .num_u64("tid", span.tid as u64)
+            .num_u64("start_us", span.start_us)
+            .num_u64("dur_us", span.dur_us)
+            .raw("args", &args_object(span));
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders spans as Chrome `trace_event` JSON (complete events), openable
+/// in Perfetto / `chrome://tracing`.
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let mut events = JsonArray::new();
+    for span in spans {
+        let mut obj = JsonObject::new();
+        obj.str("name", span.name)
+            .str("cat", span.cat)
+            .str("ph", "X")
+            .num_u64("ts", span.start_us)
+            .num_u64("dur", span.dur_us)
+            .num_u64("pid", 1)
+            .num_u64("tid", span.tid as u64)
+            .raw("args", &args_object(span));
+        events.push_raw(&obj.finish());
+    }
+    let mut root = JsonObject::new();
+    root.raw("traceEvents", &events.finish());
+    root.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use aod_obs::trace::span_id;
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            Span {
+                id: span_id::JOB,
+                parent: 0,
+                name: "discover",
+                cat: "job",
+                tid: 0,
+                start_us: 0,
+                dur_us: 120,
+                args: vec![("ocs", 4)],
+            },
+            Span {
+                id: span_id::level(2),
+                parent: span_id::JOB,
+                name: "level",
+                cat: "level",
+                tid: 0,
+                start_us: 10,
+                dur_us: 50,
+                args: vec![("level", 2), ("nodes", 6)],
+            },
+        ]
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_the_parser() {
+        let text = trace_ndjson(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = JsonValue::parse(lines[0]).expect("line parses");
+        assert_eq!(first.get("id").unwrap().as_u64(), Some(span_id::JOB));
+        assert_eq!(first.get("cat").unwrap().as_str(), Some("job"));
+        let second = JsonValue::parse(lines[1]).expect("line parses");
+        assert_eq!(second.get("parent").unwrap().as_u64(), Some(span_id::JOB));
+        assert_eq!(
+            second.get("args").unwrap().get("nodes").unwrap().as_u64(),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_has_the_trace_event_shape() {
+        let text = chrome_trace(&sample_spans());
+        let doc = JsonValue::parse(&text).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").unwrap().as_str(), Some("X"));
+            assert!(event.get("ts").unwrap().as_u64().is_some());
+            assert!(event.get("dur").unwrap().as_u64().is_some());
+            assert_eq!(event.get("pid").unwrap().as_u64(), Some(1));
+            assert!(event.get("args").unwrap().as_object().is_some());
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic_functions_of_the_span_list() {
+        let spans = sample_spans();
+        assert_eq!(trace_ndjson(&spans), trace_ndjson(&spans));
+        assert_eq!(chrome_trace(&spans), chrome_trace(&spans));
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[]}");
+    }
+}

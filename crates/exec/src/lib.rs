@@ -44,7 +44,9 @@ pub mod sync;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
+use aod_obs::trace::{span_id, Span, TraceSink};
 use deque::{deal, worker_loop, StealQueue};
 use sync::Mutex;
 
@@ -58,6 +60,7 @@ use sync::Mutex;
 pub struct Executor {
     threads: usize,
     queue_gauge: Option<aod_obs::Gauge>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl Executor {
@@ -74,6 +77,7 @@ impl Executor {
         Executor {
             threads,
             queue_gauge: None,
+            trace: None,
         }
     }
 
@@ -85,6 +89,18 @@ impl Executor {
     /// panic is re-raised either way.)
     pub fn with_queue_gauge(mut self, gauge: aod_obs::Gauge) -> Executor {
         self.queue_gauge = Some(gauge);
+        self
+    }
+
+    /// Attaches a trace sink: multi-worker maps record one worker-lane
+    /// span per claimed item (`"run"` for an initially-dealt item,
+    /// `"steal"` for one claimed off another worker's block), carrying the
+    /// item index and — when a queue gauge is attached — the queue depth
+    /// observed at completion. Worker spans are scheduling-dependent by
+    /// nature, so they go to the sink's worker lane, which byte-stable
+    /// exports exclude (see [`aod_obs::trace`]). Purely observational.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Executor {
+        self.trace = Some(trace);
         self
     }
 
@@ -164,10 +180,13 @@ impl Executor {
                 let panic_payload = &panic_payload;
                 let f = &f;
                 let queue_gauge = self.queue_gauge.as_ref();
+                let trace = self.trace.as_deref();
+                let n_items = items.len();
                 scope.spawn(move || {
                     let mut state = state;
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         worker_loop(w, queues, abort, |i| {
+                            let t0 = trace.map(TraceSink::now_us);
                             let r = f(&mut state, i, &items[i]);
                             // SAFETY: index `i` was claimed from exactly one
                             // queue pop, so no other worker writes slot `i`,
@@ -176,6 +195,17 @@ impl Executor {
                             unsafe { slots.write(i, r) };
                             if let Some(gauge) = queue_gauge {
                                 gauge.sub(1);
+                            }
+                            if let (Some(trace), Some(t0)) = (trace, t0) {
+                                record_worker_span(
+                                    trace,
+                                    w,
+                                    i,
+                                    t0,
+                                    n_items,
+                                    n_workers,
+                                    queue_gauge,
+                                );
                             }
                         });
                     }));
@@ -209,6 +239,38 @@ impl Default for Executor {
 }
 
 type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Records one worker-lane span for a completed item: `"run"` when the
+/// item sat in worker `w`'s initially-dealt block, `"steal"` when the
+/// worker claimed it off another block.
+fn record_worker_span(
+    trace: &TraceSink,
+    w: usize,
+    i: usize,
+    t0: u64,
+    n_items: usize,
+    n_workers: usize,
+    queue_gauge: Option<&aod_obs::Gauge>,
+) {
+    // Worker `w`'s dealt block is [n·w/nw, n·(w+1)/nw) (see
+    // `deque::deal`); an item outside it reached this worker by stealing.
+    let own = n_items * w / n_workers..n_items * (w + 1) / n_workers;
+    let stolen = !own.contains(&i);
+    let mut args = vec![("item", i as u64), ("stolen", stolen as u64)];
+    if let Some(gauge) = queue_gauge {
+        args.push(("queue_depth", gauge.get()));
+    }
+    trace.record_worker(Span {
+        id: span_id::worker(trace.next_worker_seq()),
+        parent: 0,
+        name: if stolen { "steal" } else { "run" },
+        cat: "worker",
+        tid: (w + 1) as u32,
+        start_us: t0,
+        dur_us: trace.now_us().saturating_sub(t0),
+        args,
+    });
+}
 
 /// Write-once result slots, indexed by item position.
 ///
@@ -372,5 +434,39 @@ mod tests {
     fn too_few_states_is_a_caller_bug() {
         let exec = Executor::new(4);
         let _ = exec.par_map_with_state(vec![(); 2], &[1, 2, 3], |(), _, &x: &i32| x);
+    }
+
+    #[test]
+    fn trace_records_one_worker_span_per_item_in_the_worker_lane() {
+        let clock = Arc::new(aod_obs::ManualClock::new());
+        let sink = Arc::new(TraceSink::new(clock));
+        let gauge = aod_obs::Gauge::new();
+        let exec = Executor::new(4)
+            .with_queue_gauge(gauge)
+            .with_trace(Arc::clone(&sink));
+        let items: Vec<usize> = (0..200).collect();
+        let out = exec.par_map_indexed(&items, |_, &x| x);
+        assert_eq!(out, items);
+        let spans = sink.worker_spans();
+        assert_eq!(spans.len(), items.len());
+        // Every span sits in the worker lane with a valid worker tid and
+        // carries its item index; the deterministic lane stays empty.
+        let mut seen: Vec<u64> = spans
+            .iter()
+            .map(|s| {
+                assert!(matches!(s.name, "run" | "steal"));
+                assert_eq!(s.cat, "worker");
+                assert!((1..=4).contains(&s.tid));
+                assert!(s.args.iter().any(|&(k, _)| k == "queue_depth"));
+                s.args
+                    .iter()
+                    .find(|&&(k, _)| k == "item")
+                    .expect("item arg")
+                    .1
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<u64>>());
+        assert!(sink.spans().is_empty());
     }
 }

@@ -42,8 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod scrape;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use scrape::{Sample, Scrape, ScrapeError};
+pub use trace::{Span, TraceSink};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

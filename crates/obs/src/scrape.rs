@@ -1,0 +1,353 @@
+//! A small conformant reader for the Prometheus text exposition format.
+//!
+//! The write side lives in [`Registry::render`](crate::Registry::render);
+//! this is its inverse, used by `aod monitor` to consume a live
+//! `GET /metrics` scrape and by tests to round-trip the exposition. It
+//! accepts the text-format grammar the ecosystem actually emits:
+//!
+//! * `# HELP` / `# TYPE` metadata lines (retained per family) and other
+//!   `#` comments (skipped);
+//! * samples with an optional `{label="value",...}` set, where label
+//!   values may contain the three escapes of the format (`\\`, `\"`,
+//!   `\n`) — the exact escapes the registry's label writer emits;
+//! * values in any float syntax Prometheus allows, including `+Inf`,
+//!   `-Inf`, and `NaN`;
+//! * an optional trailing integer timestamp (parsed and ignored).
+//!
+//! Malformed lines are hard errors carrying the line number — a monitor
+//! silently misreading a scrape is worse than one that says why it can't.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: series name, sorted label set, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (for histograms, including the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs, sorted by label name for order-insensitive lookup.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// `true` when the sample carries exactly these labels (order
+    /// insensitive).
+    pub fn labels_match(&self, labels: &[(&str, &str)]) -> bool {
+        self.labels.len() == labels.len()
+            && labels
+                .iter()
+                .all(|(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+}
+
+/// A parsed scrape: every sample plus the announced family types.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    samples: Vec<Sample>,
+    types: BTreeMap<String, String>,
+}
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Scrape {
+    /// Parses exposition text into samples, rejecting malformed lines.
+    pub fn parse(text: &str) -> Result<Scrape, ScrapeError> {
+        let mut scrape = Scrape::default();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let err = |message: String| ScrapeError {
+                line: lineno,
+                message,
+            };
+            let line = line.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE line without a metric name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(format!("TYPE line for `{name}` without a kind")))?;
+                scrape.types.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP and free-form comments
+            }
+            let sample = parse_sample(line).map_err(err)?;
+            scrape.samples.push(sample);
+        }
+        Ok(scrape)
+    }
+
+    /// All samples, in document order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The announced `# TYPE` kind of a family, if any.
+    pub fn family_type(&self, name: &str) -> Option<&str> {
+        self.types.get(name).map(String::as_str)
+    }
+
+    /// The value of the series with exactly this name and label set.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels_match(labels))
+            .map(|s| s.value)
+    }
+
+    /// The sum of every series of this name, across all label sets —
+    /// how a monitor folds per-dataset series into one figure.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// All samples of one series name, across label sets.
+    pub fn series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ' || b == b'\t')
+        .ok_or_else(|| format!("sample `{line}` has no value"))?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if let Some(body) = rest.strip_prefix('{') {
+        let (parsed, after) = parse_labels(body)?;
+        labels = parsed;
+        rest = after;
+    }
+    let mut fields = rest.split_whitespace();
+    let value_text = fields
+        .next()
+        .ok_or_else(|| format!("series `{name}` has no value"))?;
+    let value = parse_value(value_text)
+        .ok_or_else(|| format!("`{value_text}` is not a valid sample value"))?;
+    if let Some(ts) = fields.next() {
+        // Optional timestamp: validated, then ignored.
+        ts.parse::<i64>()
+            .map_err(|_| format!("`{ts}` is not a valid timestamp"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage after sample for `{name}`"));
+    }
+    labels.sort();
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Label pairs plus the remainder of the line after the closing brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `name="value",...}` (the `{` already consumed); returns the
+/// pairs and the remainder after the closing brace.
+fn parse_labels(body: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Closing brace (also accepts a trailing comma before it).
+        while let Some(&(_, c)) = chars.peek() {
+            if c == ',' || c == ' ' {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let Some(&(start, c)) = chars.peek() else {
+            return Err("unterminated label set".into());
+        };
+        if c == '}' {
+            chars.next();
+            let after_idx = chars.peek().map_or(body.len(), |&(i, _)| i);
+            return Ok((labels, &body[after_idx..]));
+        }
+        // Label name up to '='.
+        let mut name_end = start;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                name_end = i;
+                break;
+            }
+            if !(c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!("invalid character `{c}` in label name"));
+            }
+            name_end = body.len();
+        }
+        if name_end >= body.len() {
+            return Err("label name without `=`".into());
+        }
+        let name = &body[start..name_end];
+        if name.is_empty() {
+            return Err("empty label name".into());
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label `{name}` value is not quoted")),
+        }
+        // Quoted value with \\ \" \n escapes.
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "invalid escape `\\{}` in label `{name}`",
+                            other.map_or(String::new(), |(_, c)| c.to_string())
+                        ))
+                    }
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label `{name}`"));
+        }
+        labels.push((name.to_string(), value));
+    }
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_registry_render_round_trip() {
+        let registry = crate::Registry::new();
+        registry
+            .counter("aod_test_total", "Things counted.", &[("ds", "a")])
+            .add(7);
+        registry
+            .gauge(
+                "aod_depth",
+                "A gauge.",
+                &[("ds", "with \"quotes\" and \\slash\\\n")],
+            )
+            .set(3);
+        registry.histogram("aod_lat_us", "Latency.", &[]).observe(5);
+        let scrape = Scrape::parse(&registry.render()).expect("render parses");
+        assert_eq!(scrape.value("aod_test_total", &[("ds", "a")]), Some(7.0));
+        assert_eq!(
+            scrape.value("aod_depth", &[("ds", "with \"quotes\" and \\slash\\\n")]),
+            Some(3.0)
+        );
+        assert_eq!(scrape.family_type("aod_lat_us"), Some("histogram"));
+        assert_eq!(scrape.value("aod_lat_us_count", &[]), Some(1.0));
+        assert_eq!(
+            scrape.value("aod_lat_us_bucket", &[("le", "+Inf")]),
+            Some(1.0)
+        );
+        assert_eq!(scrape.sum("aod_test_total"), 7.0);
+    }
+
+    #[test]
+    fn accepts_inf_nan_and_timestamps() {
+        let text = "m_bucket{le=\"+Inf\"} +Inf 1712345678901\nnan_metric NaN\nneg -Inf\n";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(
+            scrape.value("m_bucket", &[("le", "+Inf")]),
+            Some(f64::INFINITY)
+        );
+        assert!(scrape.value("nan_metric", &[]).unwrap().is_nan());
+        assert_eq!(scrape.value("neg", &[]), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn sums_fold_label_sets() {
+        let text = "q{ds=\"a\"} 2\nq{ds=\"b\"} 5\nother 9\n";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.sum("q"), 7.0);
+        assert_eq!(scrape.series("q").count(), 2);
+    }
+
+    #[test]
+    fn label_lookup_is_order_insensitive() {
+        let text = "m{b=\"2\",a=\"1\"} 4\n";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.value("m", &[("a", "1"), ("b", "2")]), Some(4.0));
+        assert_eq!(scrape.value("m", &[("b", "2"), ("a", "1")]), Some(4.0));
+        assert_eq!(scrape.value("m", &[("a", "1")]), None);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        for (text, line) in [
+            ("ok 1\n9bad_name 2\n", 2),
+            ("m{a=\"unterminated} 1\n", 1),
+            ("ok 1\n\nm{a=\"x\"} notanumber\n", 3),
+            ("m{a=\"x\" 1\n", 1),
+            ("m 1 2 3\n", 1),
+            ("m{=\"x\"} 1\n", 1),
+        ] {
+            let err = Scrape::parse(text).expect_err(text);
+            assert_eq!(err.line, line, "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn comments_and_help_lines_are_skipped_types_retained() {
+        let text = "# HELP m Things.\n# TYPE m counter\n# arbitrary comment\nm 3\n";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.family_type("m"), Some("counter"));
+        assert_eq!(scrape.value("m", &[]), Some(3.0));
+        assert_eq!(scrape.samples().len(), 1);
+    }
+}

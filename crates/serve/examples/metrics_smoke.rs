@@ -192,6 +192,58 @@ fn main() {
     }
     println!("second scrape: monotone over first");
 
+    // A traced job serves Chrome trace-event JSON on /jobs/{id}/trace;
+    // self-parse it with the workspace JSON parser and check the shape
+    // Perfetto expects (complete "X" events under `traceEvents`).
+    const TRACED: &str = r#"{"dataset":"obs-smoke","config":{"epsilon":0.1,"max_level":2,"trace":true,"columns":["year","month","dayOfWeek","arrDelay"]}}"#;
+    let submit = request(addr, "POST", "/jobs", Some(TRACED)).expect("submit traced job");
+    assert_eq!(submit.status, 201, "traced submit: {}", submit.body);
+    let traced_id = submit
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .expect("traced job id");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let job = request(addr, "GET", &format!("/jobs/{traced_id}"), None).expect("poll job");
+        let status = job
+            .json()
+            .unwrap()
+            .get("status")
+            .and_then(|v| v.as_str().map(String::from))
+            .expect("job status");
+        match status.as_str() {
+            "done" => break,
+            "running" if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => panic!("traced job ended as `{other}`"),
+        }
+    }
+    let trace =
+        request(addr, "GET", &format!("/jobs/{traced_id}/trace"), None).expect("fetch trace");
+    assert_eq!(trace.status, 200, "trace: {}", trace.body);
+    let parsed = JsonValue::parse(&trace.body).expect("trace self-parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace carries no spans");
+    for event in events {
+        assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+        for key in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            assert!(event.get(key).is_some(), "trace event missing `{key}`");
+        }
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(JsonValue::as_str) == Some("discover")),
+        "trace has no job span"
+    );
+    println!("traced job {traced_id}: {} spans served", events.len());
+
     let bye = request(addr, "POST", "/shutdown", None).expect("shutdown");
     assert_eq!(bye.status, 202);
     println!("metrics smoke ok");

@@ -22,7 +22,8 @@ use crate::registry::Dataset;
 use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use aod_core::json::{JsonArray, JsonObject, JsonValue};
 use aod_core::{AocStrategy, CancelToken, DiscoveryBuilder, DiscoveryEvent};
-use std::collections::HashMap;
+use aod_obs::{MonotonicClock, TraceSink};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -65,6 +66,11 @@ pub struct JobSpec {
     /// Artificial pause between lattice levels — a pacing/debug knob that
     /// makes cooperative cancellation deterministic to exercise.
     level_delay_ms: u64,
+    /// Record a span trace of the run, served by `GET /jobs/{id}/trace`.
+    /// Part of the canonical form (a traced run is a distinct cache
+    /// entry); a traced job answered from a *cached* traced run carries no
+    /// trace of its own — the trace belongs to the job that executed.
+    trace: bool,
 }
 
 impl JobSpec {
@@ -86,6 +92,7 @@ impl JobSpec {
             "threads",
             "columns",
             "level_delay_ms",
+            "trace",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -179,6 +186,12 @@ impl JobSpec {
         if level_delay_ms > 60_000 {
             return Err("`level_delay_ms` must be at most 60000".to_string());
         }
+        let trace = match config.get("trace") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "`trace` must be a boolean".to_string())?,
+        };
 
         let columns = match config.get("columns") {
             None => None,
@@ -227,6 +240,7 @@ impl JobSpec {
             threads,
             columns,
             level_delay_ms,
+            trace,
         })
     }
 
@@ -271,6 +285,7 @@ impl JobSpec {
             }
         };
         obj.num_u64("level_delay_ms", self.level_delay_ms);
+        obj.bool("trace", self.trace);
         obj.finish()
     }
 
@@ -450,6 +465,58 @@ impl Job {
     }
 }
 
+/// How many job traces are retained, independently of
+/// [`MAX_RETAINED_JOBS`] — a serialized trace is the largest per-job
+/// payload, so its bound is much tighter.
+pub const MAX_RETAINED_TRACES: usize = 64;
+
+/// Bounded per-job trace retention: serialized Chrome-trace documents
+/// keyed by job id, evicted oldest-first past [`MAX_RETAINED_TRACES`] —
+/// the same FIFO discipline as the [`ResultCache`].
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    inner: Mutex<TraceStoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct TraceStoreInner {
+    map: HashMap<u64, Arc<String>>,
+    /// Insertion order (job ids), the FIFO eviction queue.
+    order: VecDeque<u64>,
+}
+
+impl TraceStore {
+    /// Stores one finished job's serialized trace, evicting the oldest
+    /// stored trace beyond the retention bound.
+    pub fn store(&self, job_id: u64, trace: Arc<String>) {
+        let mut inner = lock_or_recover(&self.inner);
+        if inner.map.insert(job_id, trace).is_none() {
+            inner.order.push_back(job_id);
+        }
+        while inner.map.len() > MAX_RETAINED_TRACES {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// The stored trace for a job, if still retained.
+    pub fn get(&self, job_id: u64) -> Option<Arc<String>> {
+        lock_or_recover(&self.inner).map.get(&job_id).cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.inner).map.len()
+    }
+
+    /// `true` when no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Owns all jobs, their runner threads, and the result cache.
 #[derive(Debug)]
 pub struct JobManager {
@@ -459,6 +526,8 @@ pub struct JobManager {
     max_jobs: usize,
     /// The shared result cache.
     pub cache: Arc<ResultCache>,
+    /// Bounded retention of per-job traces (`GET /jobs/{id}/trace`).
+    pub traces: Arc<TraceStore>,
     executed: AtomicU64,
     rejected: AtomicU64,
     metrics: Option<Arc<ServeMetrics>>,
@@ -473,6 +542,7 @@ impl JobManager {
             next_id: AtomicU64::new(1),
             max_jobs: max_jobs.max(1),
             cache: Arc::new(ResultCache::new()),
+            traces: Arc::new(TraceStore::default()),
             executed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             metrics: None,
@@ -554,11 +624,12 @@ impl JobManager {
         self.executed.fetch_add(1, Ordering::Relaxed);
 
         let cache = self.cache.clone();
+        let traces = self.traces.clone();
         let metrics = self.metrics.clone();
         let runner_job = job.clone();
         let handle = std::thread::Builder::new()
             .name(format!("aod-job-{}", job.id))
-            .spawn(move || run_job(runner_job, dataset, spec, key, cache, metrics));
+            .spawn(move || run_job(runner_job, dataset, spec, key, cache, traces, metrics));
         let handle = match handle {
             Ok(handle) => handle,
             Err(e) => {
@@ -629,9 +700,18 @@ fn run_job(
     spec: JobSpec,
     key: crate::cache::CacheKey,
     cache: Arc<ResultCache>,
+    traces: Arc<TraceStore>,
     metrics: Option<Arc<ServeMetrics>>,
 ) {
     let started_us = metrics.as_ref().map(|m| m.now_us());
+    let trace_sink = spec.trace.then(|| {
+        // Traces share the metrics clock, so an injected manual clock
+        // drives both surfaces (and makes trace bytes reproducible).
+        let clock = metrics
+            .as_ref()
+            .map_or_else(|| Arc::new(MonotonicClock::new()) as _, |m| m.clock());
+        Arc::new(TraceSink::new(clock))
+    });
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let delay = Duration::from_millis(spec.level_delay_ms);
         let cancel = job.cancel.clone();
@@ -639,7 +719,12 @@ fn run_job(
         if let Some(m) = &metrics {
             // Per-dataset discovery instruments; the sink is passive, so
             // the job's event stream and results stay bit-identical.
-            builder = builder.event_sink(m.discovery_sink(&dataset.name));
+            builder = builder
+                .event_sink(m.discovery_sink(&dataset.name))
+                .queue_depth_gauge(m.queue_depth_gauge(&dataset.name));
+        }
+        if let Some(sink) = &trace_sink {
+            builder = builder.trace_sink(Arc::clone(sink));
         }
         let mut session = builder.build(&dataset.table);
         for event in session.by_ref() {
@@ -679,6 +764,14 @@ fn run_job(
                         levels_completed,
                     },
                 );
+            }
+            if let Some(sink) = &trace_sink {
+                // Deterministic lane only — worker-lane spans are
+                // scheduling-dependent and excluded from served bytes.
+                // Stored before the status flips to Done, so a job
+                // observed as done always has its trace servable.
+                let chrome = aod_core::chrome_trace(&sink.spans());
+                traces.store(job.id, Arc::new(chrome));
             }
             job.finish(result_json, stats_json);
             if let (Some(m), Some(started)) = (&metrics, started_us) {
@@ -721,7 +814,7 @@ mod tests {
             "{\"mode\":\"approximate\",\"epsilon\":0.15,\"strategy\":\"optimal\",\
              \"sample_stride\":null,\
              \"max_level\":null,\"timeout_ms\":null,\"top_k\":null,\"threads\":2,\
-             \"columns\":null,\"level_delay_ms\":0}"
+             \"columns\":null,\"level_delay_ms\":0,\"trace\":false}"
         );
         // Key order and equivalent spellings don't change the canonical form.
         let same = parse_spec(
@@ -769,6 +862,8 @@ mod tests {
             r#"{"top_k":-1}"#,
             r#"{"level_delay_ms":600000}"#,
             r#"{"threads":300}"#,
+            r#"{"trace":1}"#,
+            r#"{"trace":"yes"}"#,
         ] {
             assert!(parse_spec(bad, &d).is_err(), "{bad} should be rejected");
         }
@@ -904,6 +999,47 @@ mod tests {
         assert!(manager.get(1).is_none());
         assert!(manager.get((MAX_RETAINED_JOBS + 41) as u64).is_some());
         manager.shutdown();
+    }
+
+    #[test]
+    fn traced_jobs_store_a_bounded_chrome_trace() {
+        let d = employee_dataset();
+        let manager = JobManager::new(2);
+        let traced = parse_spec(r#"{"epsilon":0.15,"trace":true}"#, &d).unwrap();
+        let plain = parse_spec(r#"{"epsilon":0.15}"#, &d).unwrap();
+        // Tracing is part of the canonical form: distinct cache entries.
+        assert_ne!(traced.canonical(), plain.canonical());
+
+        let job = manager.submit(d.clone(), traced.clone()).unwrap();
+        job.wait_done();
+        assert_eq!(job.status(), JobStatus::Done);
+        let trace = manager.traces.get(job.id).expect("trace stored");
+        let doc = JsonValue::parse(&trace).expect("trace parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        // An untraced job stores nothing.
+        let bare = manager.submit(d.clone(), plain).unwrap();
+        bare.wait_done();
+        assert!(manager.traces.get(bare.id).is_none());
+        // A second identical traced submission adopts the cached run —
+        // no re-execution, and no trace of its own.
+        let adopted = manager.submit(d.clone(), traced).unwrap();
+        assert!(adopted.cached);
+        assert!(manager.traces.get(adopted.id).is_none());
+        manager.shutdown();
+    }
+
+    #[test]
+    fn trace_store_evicts_oldest_beyond_the_cap() {
+        let store = TraceStore::default();
+        for id in 0..(MAX_RETAINED_TRACES as u64 + 10) {
+            store.store(id, Arc::new(format!("trace-{id}")));
+        }
+        assert_eq!(store.len(), MAX_RETAINED_TRACES);
+        assert!(store.get(0).is_none(), "oldest evicted");
+        assert!(store.get(9).is_none());
+        assert!(store.get(10).is_some());
+        assert!(store.get(MAX_RETAINED_TRACES as u64 + 9).is_some());
     }
 
     #[test]

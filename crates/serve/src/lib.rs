@@ -29,13 +29,16 @@
 //! | `GET /jobs/{id}` | status, progress, final stats |
 //! | `GET /jobs/{id}/result` | the completed `DiscoveryResult` (409 while running) |
 //! | `GET /jobs/{id}/events` | NDJSON `DiscoveryEvent` stream: full replay, then live tail |
+//! | `GET /jobs/{id}/trace` | the job's span trace as Chrome `trace_event` JSON, byte-for-byte as stored (409 while running; 404 when not requested with `"trace":true`, answered from the cache, or evicted past [`MAX_RETAINED_TRACES`]) |
 //! | `DELETE /jobs/{id}` | cooperative cancel; the job finishes with partial results flagged `stopped_early` |
 //! | `POST /shutdown` | stop accepting, cancel running jobs, exit cleanly |
 //!
 //! Job `config` fields (all optional): `mode` (`"exact"`/`"approximate"`),
 //! `epsilon`, `strategy` (`"optimal"`/`"iterative"`), `max_level`,
 //! `timeout_ms`, `top_k`, `threads`, `columns` (names or indices),
-//! `level_delay_ms` (pacing/debug). Unknown fields are 400s.
+//! `level_delay_ms` (pacing/debug), `trace` (record a span trace served
+//! by `GET /jobs/{id}/trace`; traced configs cache separately). Unknown
+//! fields are 400s.
 //!
 //! ## Embedding
 //!
@@ -67,7 +70,9 @@ mod sync;
 
 pub use cache::{CachedRun, ResultCache, MAX_CACHED_RUNS};
 pub use http::{status_text, ChunkedWriter, HttpError, Request};
-pub use jobs::{Job, JobManager, JobSpec, JobStatus, MAX_RETAINED_JOBS};
+pub use jobs::{
+    Job, JobManager, JobSpec, JobStatus, TraceStore, MAX_RETAINED_JOBS, MAX_RETAINED_TRACES,
+};
 pub use metrics::{ServeMetrics, ServeSnapshot};
 pub use registry::{Dataset, Registry, MAX_DATASETS};
 pub use server::{ServeConfig, Server, ServerHandle};

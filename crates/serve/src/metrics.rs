@@ -127,6 +127,25 @@ impl ServeMetrics {
         self.clock.now_us()
     }
 
+    /// The injected clock itself. Job trace sinks share it, so a
+    /// [`ManualClock`](aod_obs::ManualClock) drives metrics and traces
+    /// alike in tests.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The per-dataset executor queue-depth gauge
+    /// (`aod_exec_queue_depth{dataset=...}`), attached to every job's
+    /// discovery session. Idempotent per dataset; parallel batches fill
+    /// it and drain it back to zero as their items complete.
+    pub fn queue_depth_gauge(&self, dataset: &str) -> Gauge {
+        self.registry.gauge(
+            "aod_exec_queue_depth",
+            "Work items remaining in the executor's current parallel batch.",
+            &[("dataset", dataset)],
+        )
+    }
+
     /// Records one finished job's wall time into the dataset's latency
     /// histogram (`aod_serve_job_duration_us{dataset=...}`). `started_us`
     /// is an earlier [`now_us`](ServeMetrics::now_us) reading.

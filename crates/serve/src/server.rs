@@ -314,6 +314,26 @@ fn route(stream: &mut TcpStream, ctx: &Arc<ServerCtx>, request: &Request) {
             }),
             _ => not_allowed(stream),
         },
+        ["jobs", id, "trace"] => match method {
+            "GET" => with_job(stream, ctx, id, |stream, job| {
+                if job.status() == JobStatus::Running {
+                    return write_json(stream, 409, &error_json("job is running"));
+                }
+                match ctx.jobs.traces.get(job.id) {
+                    // The stored bytes verbatim — the same document a
+                    // `--trace` file would hold, Perfetto-openable.
+                    Some(trace) => write_response(stream, 200, "application/json", &trace),
+                    None => write_json(
+                        stream,
+                        404,
+                        &error_json(
+                            "job has no trace (not requested, served from cache, or evicted)",
+                        ),
+                    ),
+                }
+            }),
+            _ => not_allowed(stream),
+        },
         _ => write_json(stream, 404, &error_json("no such endpoint")),
     };
     let _ = outcome;

@@ -8,8 +8,9 @@
 //! series is monotone across scrapes — including when a scrape races a
 //! stale snapshot.
 
+use aod::obs::{Registry, Scrape, BUCKET_BOUNDS_US};
 use aod::serve::client::request;
-use aod::serve::{ServeConfig, Server, ServerHandle, MAX_DATASETS};
+use aod::serve::{ServeConfig, ServeMetrics, ServeSnapshot, Server, ServerHandle, MAX_DATASETS};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -260,4 +261,202 @@ fn admission_rejections_are_counted_in_stats_and_metrics() {
     let _ = request(addr, "DELETE", &format!("/jobs/{id}"), None);
     handle.shutdown();
     handle.join();
+}
+
+/// A traced job serves its Chrome trace on `GET /jobs/{id}/trace`
+/// (byte-stable across fetches), an untraced job answers 404, a running
+/// job answers 409 — and the per-dataset executor queue-depth gauge
+/// drains back to zero once the parallel batches complete.
+#[test]
+fn traced_jobs_serve_their_trace_and_the_queue_gauge_drains() {
+    let handle = start_server();
+    let addr = handle.addr();
+    register_employee(addr, "emp");
+
+    let traced = r#"{"dataset":"emp","config":{"epsilon":0.15,"threads":2,"trace":true}}"#;
+    let id = run_job(addr, traced);
+    let first = request(addr, "GET", &format!("/jobs/{id}/trace"), None).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("content-type"), Some("application/json"));
+    let events = first.json().expect("trace parses");
+    let events = events
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace carries no spans");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("discover")),
+        "trace has no job span"
+    );
+    // The endpoint serves the stored trace byte for byte, every time.
+    let second = request(addr, "GET", &format!("/jobs/{id}/trace"), None).unwrap();
+    assert_eq!(second.body, first.body);
+
+    // The job's parallel batches filled and drained the dataset's
+    // executor queue-depth gauge; after completion it must read zero.
+    let metrics = scrape(addr);
+    assert_eq!(
+        metrics.get("aod_exec_queue_depth{dataset=\"emp\"}"),
+        Some(&0.0),
+        "queue-depth gauge did not drain"
+    );
+
+    // An untraced job has no trace to serve.
+    let plain_id = run_job(addr, r#"{"dataset":"emp","config":{"epsilon":0.2}}"#);
+    let missing = request(addr, "GET", &format!("/jobs/{plain_id}/trace"), None).unwrap();
+    assert_eq!(missing.status, 404, "{}", missing.body);
+
+    // While a job is running the trace is not yet available: 409.
+    let paced = r#"{"dataset":"emp","config":{"epsilon":0.1,"trace":true,"level_delay_ms":1500}}"#;
+    let r = request(addr, "POST", "/jobs", Some(paced)).unwrap();
+    assert_eq!(r.status, 201, "{}", r.body);
+    let paced_id = r.json().unwrap().get("id").unwrap().as_u64().unwrap();
+    let busy = request(addr, "GET", &format!("/jobs/{paced_id}/trace"), None).unwrap();
+    assert_eq!(busy.status, 409, "{}", busy.body);
+    let _ = request(addr, "DELETE", &format!("/jobs/{paced_id}"), None);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Text-format conformance: a registered histogram with **zero
+/// observations** still renders its full bucket ladder with `_sum 0` and
+/// `_count 0`, and the `+Inf` bucket always equals `_count` — pinned
+/// through the conformant [`Scrape`] reader, not string matching.
+#[test]
+fn zero_observation_histograms_render_a_complete_conformant_ladder() {
+    let registry = Registry::new();
+    let histogram = registry.histogram(
+        "aod_serve_job_duration_us",
+        "Job wall time from admission to completion, microseconds.",
+        &[("dataset", "empty")],
+    );
+    let scrape = Scrape::parse(&registry.render()).expect("render parses");
+    assert_eq!(
+        scrape.family_type("aod_serve_job_duration_us"),
+        Some("histogram")
+    );
+    for bound in BUCKET_BOUNDS_US {
+        assert_eq!(
+            scrape.value(
+                "aod_serve_job_duration_us_bucket",
+                &[("dataset", "empty"), ("le", &bound.to_string())],
+            ),
+            Some(0.0),
+            "missing zero bucket le={bound}"
+        );
+    }
+    let inf = scrape
+        .value(
+            "aod_serve_job_duration_us_bucket",
+            &[("dataset", "empty"), ("le", "+Inf")],
+        )
+        .expect("+Inf bucket present");
+    let count = scrape
+        .value("aod_serve_job_duration_us_count", &[("dataset", "empty")])
+        .expect("_count present");
+    let sum = scrape
+        .value("aod_serve_job_duration_us_sum", &[("dataset", "empty")])
+        .expect("_sum present");
+    assert_eq!((inf, count, sum), (0.0, 0.0, 0.0));
+
+    // With observations — including one past the last finite bound —
+    // the +Inf bucket still equals _count and the ladder stays
+    // cumulative (monotone non-decreasing in `le`).
+    histogram.observe(3);
+    histogram.observe(5_000);
+    histogram.observe(u64::MAX);
+    let scrape = Scrape::parse(&registry.render()).expect("render parses");
+    let mut previous = 0.0;
+    for bound in BUCKET_BOUNDS_US {
+        let cell = scrape
+            .value(
+                "aod_serve_job_duration_us_bucket",
+                &[("dataset", "empty"), ("le", &bound.to_string())],
+            )
+            .expect("bucket present");
+        assert!(cell >= previous, "ladder not cumulative at le={bound}");
+        previous = cell;
+    }
+    let inf = scrape
+        .value(
+            "aod_serve_job_duration_us_bucket",
+            &[("dataset", "empty"), ("le", "+Inf")],
+        )
+        .unwrap();
+    let count = scrape
+        .value("aod_serve_job_duration_us_count", &[("dataset", "empty")])
+        .unwrap();
+    assert_eq!(inf, 3.0);
+    assert_eq!(inf, count, "+Inf bucket must equal _count");
+}
+
+/// Label escaping on per-dataset series round-trips through the
+/// exposition: a dataset name containing the format's three escapes
+/// (backslash, quote, newline) renders and parses back verbatim.
+#[test]
+fn per_dataset_gauge_labels_escape_and_round_trip() {
+    let hostile = "flight \"2021\" \\ final\nbatch";
+    let metrics = ServeMetrics::new();
+    metrics.queue_depth_gauge(hostile).set(7);
+    let text = metrics.render(&ServeSnapshot::default());
+    let scrape = Scrape::parse(&text).expect("render with escaped labels parses");
+    assert_eq!(
+        scrape.value("aod_exec_queue_depth", &[("dataset", hostile)]),
+        Some(7.0)
+    );
+    // The raw control characters never leak into the exposition text.
+    for line in text.lines() {
+        assert!(!line.contains('\u{0}'), "control character in exposition");
+    }
+}
+
+/// The alerting rules and scrape config under `docs/observability/` can
+/// only reference metric families the server actually exports: every
+/// `aod_*` name in those files must appear in a populated registry
+/// render. A rename in the code fails here, not in production.
+#[test]
+fn observability_docs_reference_only_exported_metric_names() {
+    let docs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/observability");
+    let mut referenced = Vec::new();
+    for file in ["rules.yml", "prometheus.yml"] {
+        let path = format!("{docs_dir}/{file}");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while let Some(offset) = text[i..].find("aod_") {
+            let start = i + offset;
+            let mut end = start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            referenced.push((file, text[start..end].to_string()));
+            i = end;
+        }
+    }
+    assert!(
+        referenced.len() >= 5,
+        "docs reference suspiciously few metrics: {referenced:?}"
+    );
+
+    // A render with every family the server can export: mirrored serve
+    // counters, a per-dataset latency histogram, the discovery
+    // instruments, and the executor queue gauge.
+    let metrics = ServeMetrics::new();
+    metrics.queue_depth_gauge("docs");
+    let _ = metrics.discovery_sink("docs");
+    metrics.observe_job("docs", 0);
+    let rendered = metrics.render(&ServeSnapshot::default());
+    for (file, name) in &referenced {
+        assert!(
+            rendered.contains(name),
+            "{file} references `{name}`, which the server does not export"
+        );
+    }
 }
