@@ -96,12 +96,12 @@ impl CancelToken {
     /// Requests cancellation. Safe to call from another thread or from
     /// inside the event loop consuming the session.
     pub fn cancel(&self) {
-        self.inner.store(true, Ordering::Relaxed);
+        self.inner.store(true, Ordering::Release);
     }
 
     /// `true` once [`cancel`](CancelToken::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.load(Ordering::Relaxed)
+        self.inner.load(Ordering::Acquire)
     }
 }
 

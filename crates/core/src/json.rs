@@ -513,7 +513,9 @@ impl Parser<'_> {
                     // are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = rest.chars().next().unwrap();
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(self.err("truncated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

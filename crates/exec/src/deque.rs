@@ -118,7 +118,7 @@ pub(crate) fn worker_loop(
 ) {
     loop {
         if let Some(i) = queues[own].pop() {
-            if abort.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Acquire) {
                 return;
             }
             run(i);

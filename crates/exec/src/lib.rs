@@ -210,7 +210,7 @@ impl Executor {
                         });
                     }));
                     if let Err(payload) = result {
-                        abort.store(true, Ordering::Relaxed);
+                        abort.store(true, Ordering::Release);
                         let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
                         if slot.is_none() {
                             *slot = Some(payload);

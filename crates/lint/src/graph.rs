@@ -1,0 +1,442 @@
+//! The workspace item graph the semantic rules traverse.
+//!
+//! Built from every [`crate::syntax::ParsedFile`] in scope, it answers
+//! three questions, all name-based and deliberately conservative —
+//! ambiguity resolves to *no edge*, so the graph under-approximates and
+//! a rule's findings stay explainable:
+//!
+//! * **who calls whom** — written paths are suffix-matched against
+//!   qualified fn names (`Partition::unit` → `aod_partition::Partition::
+//!   unit`); bare names resolve through the enclosing impl type for
+//!   `self.…` method calls, then by workspace-wide uniqueness, with a
+//!   stop list of ubiquitous std method names that would otherwise
+//!   mis-resolve (`push`, `get`, `len`, …);
+//! * **which lock is that** — `self.field` resolves through the
+//!   enclosing impl type; `x.field` through the unique struct declaring
+//!   a `Mutex`/`RwLock`/`Condvar` field of that name; bare locals get a
+//!   fn-scoped name so they can never alias across fns;
+//! * **what is reachable** — breadth-first over resolved calls from
+//!   registered roots, recording the parent chain so every finding can
+//!   print its witness path.
+
+use std::collections::BTreeMap;
+
+use crate::syntax::{EventKind, FnItem, ParsedFile};
+
+/// One fn in the graph: its file and item.
+#[derive(Clone, Copy)]
+pub struct FnRef<'a> {
+    /// The file declaring it.
+    pub file: &'a ParsedFile,
+    /// The item itself.
+    pub item: &'a FnItem,
+}
+
+/// The item graph over a set of parsed files.
+pub struct Graph<'a> {
+    /// Flattened fns, in (sorted) file order then source order — the
+    /// iteration order every rule report inherits.
+    pub fns: Vec<FnRef<'a>>,
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    // field name → (owner struct, type) pairs, across all files.
+    fields: BTreeMap<&'a str, Vec<(&'a str, &'a str)>>,
+}
+
+/// Method names too common to resolve by bare-name uniqueness: a
+/// workspace fn that happens to share one would capture every std call.
+const UBIQUITOUS: &[&str] = &[
+    "add",
+    "all",
+    "any",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "borrow",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "count",
+    "default",
+    "drain",
+    "drop",
+    "end",
+    "entry",
+    "eq",
+    "extend",
+    "fill",
+    "filter",
+    "find",
+    "first",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "ok",
+    "parse",
+    "peek",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "send",
+    "sort",
+    "sort_by",
+    "split",
+    "start",
+    "sum",
+    "swap",
+    "take",
+    "trim",
+    "truncate",
+    "unwrap",
+    "values",
+    "wait",
+    "write",
+    "zip",
+];
+
+impl<'a> Graph<'a> {
+    /// Builds the graph over `files` (already in sorted path order).
+    pub fn build(files: &'a [ParsedFile]) -> Graph<'a> {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut fields: BTreeMap<&str, Vec<(&str, &str)>> = BTreeMap::new();
+        for file in files {
+            for item in &file.fns {
+                let idx = fns.len();
+                fns.push(FnRef { file, item });
+                by_name.entry(item.name.as_str()).or_default().push(idx);
+            }
+            for fd in &file.fields {
+                fields
+                    .entry(fd.name.as_str())
+                    .or_default()
+                    .push((fd.owner.as_str(), fd.ty.as_str()));
+            }
+        }
+        Graph {
+            fns,
+            by_name,
+            fields,
+        }
+    }
+
+    /// Indices of non-test fns whose qualified name matches `pat` — equal
+    /// to it, or ending in `::pat`.
+    pub fn find_fns(&self, pat: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.item.in_test && qual_matches(&f.item.qual, pat))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Resolves a call site to a single fn index, or `None` when the
+    /// name is unknown, ubiquitous, or ambiguous.
+    pub fn resolve_call(&self, caller: usize, callee: &str, recv: Option<&str>) -> Option<usize> {
+        let segs: Vec<&str> = callee
+            .split("::")
+            .filter(|s| !matches!(*s, "crate" | "self" | "super") && !s.is_empty())
+            .collect();
+        if segs.len() > 1 {
+            let suffix = segs.join("::");
+            let hits: Vec<usize> = self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.item.in_test && qual_matches(&f.item.qual, &suffix))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(one) = self.pick(caller, hits) {
+                return Some(one);
+            }
+            // Fall through: `crate::sync::lock_or_recover`'s module
+            // segment is not part of the qual; retry on the last segment.
+        }
+        let name = *segs.last()?;
+        // A tuple-struct or enum-variant constructor, not a fn.
+        if segs.len() == 1 && name.chars().next().is_some_and(char::is_uppercase) {
+            return None;
+        }
+        let caller_ref = &self.fns[caller];
+        if recv == Some("self") {
+            if let Some(impl_type) = &caller_ref.item.impl_type {
+                let hits: Vec<usize> = self
+                    .by_name
+                    .get(name)
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .filter(|&i| {
+                        !self.fns[i].item.in_test
+                            && self.fns[i].item.impl_type.as_deref() == Some(impl_type)
+                    })
+                    .collect();
+                if let Some(one) = self.pick(caller, hits) {
+                    return Some(one);
+                }
+            }
+        }
+        if UBIQUITOUS.contains(&name) {
+            return None;
+        }
+        let hits: Vec<usize> = self
+            .by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&i| !self.fns[i].item.in_test)
+            .collect();
+        self.pick(caller, hits)
+    }
+
+    /// Narrows candidate fns to one: a unique candidate wins; among
+    /// several, a unique same-file (then same-crate) candidate wins;
+    /// otherwise unresolved.
+    fn pick(&self, caller: usize, hits: Vec<usize>) -> Option<usize> {
+        match hits.len() {
+            0 => None,
+            1 => Some(hits[0]),
+            _ => {
+                let caller_ref = &self.fns[caller];
+                let same_file: Vec<usize> = hits
+                    .iter()
+                    .copied()
+                    .filter(|&i| std::ptr::eq(self.fns[i].file, caller_ref.file))
+                    .collect();
+                if same_file.len() == 1 {
+                    return Some(same_file[0]);
+                }
+                let same_crate: Vec<usize> = hits
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].file.crate_ident == caller_ref.file.crate_ident)
+                    .collect();
+                if same_crate.len() == 1 {
+                    return Some(same_crate[0]);
+                }
+                None
+            }
+        }
+    }
+
+    /// Resolves a locked expression to a stable lock name:
+    /// `Owner.field` for resolvable fields, a fn-scoped `qual::expr`
+    /// name for bare locals, `None` for opaque receivers.
+    pub fn lock_id(&self, caller: usize, expr: &str) -> Option<String> {
+        let expr = expr.trim();
+        if expr.is_empty() || expr == "?" || expr.contains(['(', '[']) {
+            return None;
+        }
+        if let Some((base, field)) = expr.rsplit_once('.') {
+            if base == "self" {
+                let owner = self.fns[caller].item.impl_type.as_deref()?;
+                return Some(format!("{owner}.{field}"));
+            }
+            // `job.state` — find the unique struct declaring a lock-ish
+            // field of this name.
+            let owners: Vec<&str> = self
+                .fields
+                .get(field)
+                .into_iter()
+                .flatten()
+                .filter(|(_, ty)| is_lock_type(ty))
+                .map(|&(owner, _)| owner)
+                .collect();
+            return match owners.as_slice() {
+                [one] => Some(format!("{one}.{field}")),
+                _ => None,
+            };
+        }
+        if expr == "self" {
+            return None;
+        }
+        // A local or parameter: scope the name to the fn so it can never
+        // alias a lock in another fn.
+        Some(format!("{}::{expr}", self.fns[caller].item.qual))
+    }
+
+    /// Breadth-first reachability from `roots` over resolved calls,
+    /// restricted to fns accepted by `allowed`. Returns, per reached fn,
+    /// `(parent fn, root)` — the parent chain is the witness path.
+    pub fn reachable_from(
+        &self,
+        roots: &[usize],
+        allowed: impl Fn(usize) -> bool,
+    ) -> BTreeMap<usize, (Option<usize>, usize)> {
+        let mut seen: BTreeMap<usize, (Option<usize>, usize)> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if allowed(r) && !seen.contains_key(&r) {
+                seen.insert(r, (None, r));
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cur = queue[qi];
+            qi += 1;
+            for event in &self.fns[cur].item.events {
+                let EventKind::Call { callee, recv } = &event.kind else {
+                    continue;
+                };
+                let Some(next) = self.resolve_call(cur, callee, recv.as_deref()) else {
+                    continue;
+                };
+                if self.fns[next].item.in_test || !allowed(next) {
+                    continue;
+                }
+                let root = seen[&cur].1;
+                if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(next) {
+                    e.insert((Some(cur), root));
+                    queue.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The witness chain `root -> … -> target` in qualified names.
+    pub fn witness(
+        &self,
+        reach: &BTreeMap<usize, (Option<usize>, usize)>,
+        target: usize,
+    ) -> String {
+        let mut chain = vec![self.fns[target].item.qual.clone()];
+        let mut cur = target;
+        while let Some(&(Some(parent), _)) = reach.get(&cur) {
+            chain.push(self.fns[parent].item.qual.clone());
+            cur = parent;
+        }
+        chain.reverse();
+        chain.join(" -> ")
+    }
+}
+
+/// `qual` equals `pat` or ends with `::pat`.
+fn qual_matches(qual: &str, pat: &str) -> bool {
+    qual == pat
+        || (qual.len() > pat.len() + 2
+            && qual.ends_with(pat)
+            && qual[..qual.len() - pat.len()].ends_with("::"))
+}
+
+fn is_lock_type(ty: &str) -> bool {
+    ty.contains("Mutex<") || ty.contains("RwLock<") || ty.contains("Condvar")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::parse;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> Vec<ParsedFile> {
+        srcs.iter().map(|(p, s)| parse(p, &lex(s))).collect()
+    }
+
+    #[test]
+    fn calls_resolve_by_impl_uniqueness_and_path() {
+        let files = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct S { v: u32 }\n\
+             impl S {\n\
+                 fn only_here(&self) {}\n\
+                 fn caller(&self) { self.only_here(); helper(); S::only_here(x); }\n\
+             }\n\
+             fn helper() {}\n",
+        )]);
+        let g = Graph::build(&files);
+        let caller = g.find_fns("S::caller")[0];
+        assert_eq!(
+            g.resolve_call(caller, "only_here", Some("self")),
+            Some(g.find_fns("S::only_here")[0])
+        );
+        assert_eq!(
+            g.resolve_call(caller, "helper", None),
+            Some(g.find_fns("aod_a::helper")[0])
+        );
+        assert_eq!(
+            g.resolve_call(caller, "S::only_here", None),
+            Some(g.find_fns("S::only_here")[0])
+        );
+        // Ubiquitous std names never resolve by bare uniqueness.
+        assert_eq!(g.resolve_call(caller, "push", Some("v")), None);
+    }
+
+    #[test]
+    fn lock_ids_resolve_self_fields_and_unique_struct_fields() {
+        let files = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct Mgr { jobs: Mutex<u32> }\n\
+             struct Job { state: Mutex<u32>, hits: u64 }\n\
+             impl Mgr {\n    fn f(&self) { lock_or_recover(&self.jobs); }\n}\n\
+             fn free(job: &Job) { lock_or_recover(&job.state); }\n",
+        )]);
+        let g = Graph::build(&files);
+        let f = g.find_fns("Mgr::f")[0];
+        let free = g.find_fns("aod_a::free")[0];
+        assert_eq!(g.lock_id(f, "self.jobs").as_deref(), Some("Mgr.jobs"));
+        assert_eq!(g.lock_id(free, "job.state").as_deref(), Some("Job.state"));
+        // `hits` is not a lock type; `?` receivers stay opaque.
+        assert_eq!(g.lock_id(free, "job.hits"), None);
+        assert_eq!(g.lock_id(free, "?"), None);
+        assert_eq!(
+            g.lock_id(free, "m").as_deref(),
+            Some("aod_a::free::m"),
+            "locals are fn-scoped"
+        );
+    }
+
+    #[test]
+    fn reachability_records_witness_chains() {
+        let files = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn entry() { middle(); }\n\
+             fn middle() { deep(); }\n\
+             fn deep() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let g = Graph::build(&files);
+        let entry = g.find_fns("entry")[0];
+        let deep = g.find_fns("deep")[0];
+        let reach = g.reachable_from(&[entry], |_| true);
+        assert!(reach.contains_key(&deep));
+        assert!(!reach.contains_key(&g.find_fns("unrelated")[0]));
+        assert_eq!(
+            g.witness(&reach, deep),
+            "aod_a::entry -> aod_a::middle -> aod_a::deep"
+        );
+    }
+}

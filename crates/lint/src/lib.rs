@@ -18,38 +18,87 @@
 //! * **V1** — vendored stubs gain no dependencies and no `unsafe`
 //!   ([`rules::v1_vendor_hygiene`]).
 //!
+//! On top of the lexical pass, a semantic pass parses the scoped files
+//! into an item graph ([`syntax`], [`graph`]) and checks:
+//!
+//! * **L1** — no cycles (and no re-entry) in the lock-acquisition
+//!   order graph ([`rules::l1_lock_order`]).
+//! * **O1** — no `Ordering::Relaxed` loads guarding cross-thread
+//!   control flow ([`rules::o1_atomic_ordering`]).
+//! * **A1** — no allocation idioms in fns reachable from registered
+//!   hot-path roots ([`rules::a1_hot_alloc`]).
+//! * **P2** — no panic idioms reachable from request handlers, beyond
+//!   the files P1 already patrols ([`rules::p2_panic_reach`]).
+//!
 //! Scopes live in the checked-in [`lint.toml`](crate::policy); per-site
 //! exceptions are [waivers](crate::waiver) with mandatory justifications.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 pub mod waiver;
 
 use std::path::{Path, PathBuf};
 
 use policy::{in_scope, Policy};
 use report::Finding;
+use waiver::WaiverSet;
 
 /// Runs every rule over the workspace rooted at `root` (the directory
 /// holding `lint.toml`) and returns the sorted findings.
 pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
     let policy = load_policy(root)?;
     let mut findings = Vec::new();
+    let mut waivers = WaiverSet::default();
+    let mut parsed: Vec<syntax::ParsedFile> = Vec::new();
 
+    // Phase 1: lexical rules per file; files in any semantic scope are
+    // parsed into items for phase 2.
     for rel in walk(root)? {
         if rel.ends_with(".rs") {
-            scan_source(root, &rel, &policy, &mut findings)?;
+            scan_source(
+                root,
+                &rel,
+                &policy,
+                &mut waivers,
+                &mut parsed,
+                &mut findings,
+            )?;
         } else if rel.ends_with("Cargo.toml") && in_scope(&rel, &policy.v1_paths) {
             let text = read(root, &rel)?;
             rules::v1_vendor_hygiene::check_manifest(&rel, &text, &mut findings);
         }
     }
 
+    // Phase 2: semantic rules over the item graph.
+    let item_graph = graph::Graph::build(&parsed);
+    rules::l1_lock_order::check(&item_graph, &policy.l1_paths, &waivers, &mut findings);
+    rules::o1_atomic_ordering::check(&item_graph, &policy.o1_paths, &waivers, &mut findings);
+    rules::a1_hot_alloc::check(
+        &item_graph,
+        &policy.a1_roots,
+        &policy.a1_paths,
+        &waivers,
+        &mut findings,
+    );
+    rules::p2_panic_reach::check(
+        &item_graph,
+        &policy.p2_roots,
+        &policy.p2_paths,
+        &policy.p1_paths,
+        &policy.p1_exclude,
+        &waivers,
+        &mut findings,
+    );
+
+    // A waiver is unused only once every rule has had its chance.
+    waivers.report_unused(&mut findings);
     check_wire_schema(root, &policy, &mut findings)?;
     report::sort(&mut findings);
     Ok(findings)
@@ -77,6 +126,8 @@ fn scan_source(
     root: &Path,
     rel: &str,
     policy: &Policy,
+    waiver_set: &mut WaiverSet,
+    parsed: &mut Vec<syntax::ParsedFile>,
     findings: &mut Vec<Finding>,
 ) -> Result<(), String> {
     if policy.is_excluded(rel) {
@@ -86,7 +137,8 @@ fn scan_source(
     let d2 = !in_scope(rel, &policy.d2_allow);
     let p1 = in_scope(rel, &policy.p1_paths) && !in_scope(rel, &policy.p1_exclude);
     let v1 = in_scope(rel, &policy.v1_paths);
-    if !(d1 || d2 || p1 || v1) {
+    let parse = policy.needs_parse(rel);
+    if !(d1 || d2 || p1 || v1 || parse) {
         return Ok(());
     }
     let text = read(root, rel)?;
@@ -104,7 +156,13 @@ fn scan_source(
     if v1 {
         rules::v1_vendor_hygiene::check(rel, &lines, &waivers, findings);
     }
-    waivers.report_unused(rel, findings);
+    if parse {
+        parsed.push(syntax::parse(rel, &lines));
+    }
+    // Unused-waiver reporting is deferred to the waiver set so the
+    // semantic rules (which run after every file is read) get their
+    // chance to consume waivers first.
+    waiver_set.insert(rel.to_string(), waivers);
     Ok(())
 }
 

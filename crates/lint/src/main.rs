@@ -1,10 +1,13 @@
 //! The `aod-lint` binary.
 //!
 //! ```text
-//! aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]
+//! aod-lint [--root PATH] [--deny-warnings] [--format FMT] [--write-schema-lock]
 //! ```
 //!
-//! Findings print as `file:line: [RULE] message`. Exit codes: `0` clean
+//! `--format text` (the default) prints `file:line: [RULE] message`
+//! lines plus a summary; `--format json` prints one machine-readable
+//! document; `--format sarif` prints a SARIF 2.1.0 log for CI
+//! code-scanning upload. Exit codes are format-independent: `0` clean
 //! (or findings without `--deny-warnings`), `1` findings under
 //! `--deny-warnings`, `2` usage or I/O errors.
 
@@ -13,10 +16,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: aod-lint [--root PATH] [--deny-warnings] [--format text|json|sarif] [--write-schema-lock]";
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny = false;
     let mut write_lock = false;
+    let mut format = Format::Text;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,8 +34,15 @@ fn main() -> ExitCode {
             },
             "--deny-warnings" => deny = true,
             "--write-schema-lock" => write_lock = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format needs text, json, or sarif"),
+            },
             "--help" | "-h" => {
-                println!("usage: aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -49,18 +63,21 @@ fn main() -> ExitCode {
     }
 
     match aod_lint::run(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("aod-lint: clean");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            print!("{}", aod_lint::report::render(&findings));
-            println!(
-                "aod-lint: {} finding{}",
-                findings.len(),
-                if findings.len() == 1 { "" } else { "s" }
-            );
-            if deny {
+            match format {
+                Format::Text if findings.is_empty() => println!("aod-lint: clean"),
+                Format::Text => {
+                    print!("{}", aod_lint::report::render(&findings));
+                    println!(
+                        "aod-lint: {} finding{}",
+                        findings.len(),
+                        if findings.len() == 1 { "" } else { "s" }
+                    );
+                }
+                Format::Json => print!("{}", aod_lint::report::render_json(&findings)),
+                Format::Sarif => print!("{}", aod_lint::report::render_sarif(&findings)),
+            }
+            if deny && !findings.is_empty() {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -73,9 +90,13 @@ fn main() -> ExitCode {
     }
 }
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn usage(why: &str) -> ExitCode {
-    eprintln!(
-        "aod-lint: {why}\nusage: aod-lint [--root PATH] [--deny-warnings] [--write-schema-lock]"
-    );
+    eprintln!("aod-lint: {why}\n{USAGE}");
     ExitCode::from(2)
 }

@@ -32,6 +32,18 @@ pub struct Policy {
     pub w1_wire: String,
     /// W1: the committed schema lock file.
     pub w1_lock: String,
+    /// L1: path prefixes whose lock acquisitions join the order graph.
+    pub l1_paths: Vec<String>,
+    /// O1: path prefixes checked for relaxed guard loads.
+    pub o1_paths: Vec<String>,
+    /// A1: hot-path root fns (qualified-name suffixes).
+    pub a1_roots: Vec<String>,
+    /// A1: path prefixes the hot-path reachability may traverse.
+    pub a1_paths: Vec<String>,
+    /// P2: request-path root fns (qualified-name suffixes).
+    pub p2_roots: Vec<String>,
+    /// P2: path prefixes the request-path reachability may traverse.
+    pub p2_paths: Vec<String>,
 }
 
 impl Policy {
@@ -60,7 +72,22 @@ impl Policy {
             v1_paths: list("rules.V1", "paths"),
             w1_wire: string("rules.W1", "wire")?,
             w1_lock: string("rules.W1", "lock")?,
+            l1_paths: list("rules.L1", "paths"),
+            o1_paths: list("rules.O1", "paths"),
+            a1_roots: list("rules.A1", "roots"),
+            a1_paths: list("rules.A1", "paths"),
+            p2_roots: list("rules.P2", "roots"),
+            p2_paths: list("rules.P2", "paths"),
         })
+    }
+
+    /// `true` when `path` is inside any semantic-rule scope — such files
+    /// are parsed into the item graph.
+    pub fn needs_parse(&self, path: &str) -> bool {
+        in_scope(path, &self.l1_paths)
+            || in_scope(path, &self.o1_paths)
+            || in_scope(path, &self.a1_paths)
+            || in_scope(path, &self.p2_paths)
     }
 
     /// `true` when `path` (workspace-relative, forward slashes) is

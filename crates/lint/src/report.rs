@@ -1,4 +1,13 @@
-//! Findings and the text report.
+//! Findings and the text / JSON / SARIF reports.
+//!
+//! The text renderer feeds the golden tests and terminal use; the JSON
+//! renderer is a stable machine interface for scripts; the SARIF 2.1.0
+//! renderer is what CI uploads so findings land as code-scanning
+//! annotations. All three are byte-deterministic over sorted findings,
+//! and the JSON/SARIF strings are hand-emitted here (with the escaping
+//! rules JSON requires) so the linter keeps its zero-dependency
+//! property — `aod_core::json` is used in the *tests* to prove the
+//! emitted documents parse.
 
 /// One rule violation (or lint-infrastructure problem) at a location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,4 +61,125 @@ pub fn render(findings: &[Finding]) -> String {
         }
     }
     out
+}
+
+/// Every rule the linter can emit, with the one-line description the
+/// SARIF `tool.driver.rules` table carries.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "A1",
+        "allocation idiom in a fn reachable from a hot-path root",
+    ),
+    (
+        "D1",
+        "hash-ordered iteration in a determinism-critical module",
+    ),
+    (
+        "D2",
+        "wall-clock read outside the registered timing allowlist",
+    ),
+    ("L1", "lock-acquisition order cycle or re-acquisition"),
+    (
+        "O1",
+        "relaxed atomic load guarding cross-thread control flow",
+    ),
+    ("P1", "panic idiom in a request/job path"),
+    ("P2", "panic idiom reachable from a request handler"),
+    ("V1", "vendored stub with dependencies or unsafe code"),
+    ("W1", "breaking wire-schema change without a version bump"),
+    ("waiver", "malformed or unused lint waiver"),
+];
+
+/// Renders findings as a JSON document:
+/// `{"findings": [{"rule", "file", "line", "message"}, …], "count": n}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape(&f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}\n", findings.len()));
+    out
+}
+
+/// Renders findings as a minimal SARIF 2.1.0 log with one run. Findings
+/// at line 0 (whole-file) anchor at line 1, the smallest region SARIF
+/// allows.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"aod-lint\",\"rules\":[",
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape(id),
+            escape(desc)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(&f.rule),
+            escape(&f.message),
+            escape(&f.file),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// JSON string escaping: the two mandatory escapes plus control chars.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_and_sarif_escape_quotes_and_newlines() {
+        let f = [Finding::new("P1", "a/b.rs", 3, "uses `x[\"k\\n\"]`")];
+        let json = render_json(&f);
+        assert!(json.contains("\\\"k\\\\n\\\""), "{json}");
+        let sarif = render_sarif(&f);
+        assert!(sarif.contains("\\\"k\\\\n\\\""), "{sarif}");
+    }
+
+    #[test]
+    fn sarif_line_zero_anchors_at_line_one() {
+        let f = [Finding::new("W1", "wire_schema.lock", 0, "whole-file")];
+        assert!(render_sarif(&f).contains("\"startLine\":1"));
+    }
 }

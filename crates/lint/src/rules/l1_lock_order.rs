@@ -1,0 +1,456 @@
+//! L1 — a single global lock-acquisition order, no cycles.
+//!
+//! Deadlock needs four conditions; the one a linter can see is circular
+//! wait. The rule replays every in-scope fn's body events through a
+//! guard-scope model — `let`-bound guards live to the end of their
+//! block (or an explicit `drop(guard)`), temporary guards to the end of
+//! their statement (or through the block the statement opens, as in
+//! `for x in lock_or_recover(&m).iter() { … }`) — and records an edge
+//! `A -> B` whenever lock `B` is acquired, directly or through a call,
+//! while `A` is held. A cycle in that graph is a lock-order violation;
+//! the finding prints the full witness path with the acquisition sites.
+//!
+//! Re-acquiring a lock that is already held in the same fn is reported
+//! too: with non-reentrant mutexes that is a guaranteed self-deadlock,
+//! no cycle needed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::policy::in_scope;
+use crate::report::Finding;
+use crate::syntax::EventKind;
+use crate::waiver::WaiverSet;
+
+const RULE: &str = "L1";
+
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    file: String,
+    line: usize,
+    via: Option<String>,
+}
+
+#[derive(Debug)]
+enum GuardKind {
+    /// `let g = …` at block depth `d` — held until depth drops below.
+    Binding(String, i32),
+    /// Temporary in the current statement at depth `d`.
+    Armed(i32),
+    /// Temporary whose statement opened a block at depth `d` — held
+    /// until the block closes.
+    Scoped(i32),
+}
+
+struct Guard {
+    lock: String,
+    kind: GuardKind,
+}
+
+/// Runs L1 over every fn in the `[rules.L1] paths` scope.
+pub fn check(graph: &Graph, paths: &[String], waivers: &WaiverSet, findings: &mut Vec<Finding>) {
+    let lock_sets = all_lock_sets(graph, paths);
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.item.in_test || !in_scope(&f.file.path, paths) {
+            continue;
+        }
+        replay(graph, idx, &lock_sets, &mut edges, waivers, findings);
+    }
+
+    // Cycle detection over the acquired-before graph, deterministic via
+    // sorted adjacency.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut path: Vec<&str> = Vec::new();
+        // Depth-first with an explicit path; small graphs, clarity wins.
+        dfs(start, &adj, &mut path, &mut done, &mut |cycle| {
+            let canon = canonical(cycle);
+            if !reported.insert(canon.clone()) {
+                return;
+            }
+            report_cycle(&canon, &edges, waivers, findings);
+        });
+    }
+}
+
+fn dfs<'g>(
+    node: &'g str,
+    adj: &BTreeMap<&'g str, Vec<&'g str>>,
+    path: &mut Vec<&'g str>,
+    done: &mut BTreeSet<&'g str>,
+    on_cycle: &mut impl FnMut(&[&'g str]),
+) {
+    if let Some(pos) = path.iter().position(|&n| n == node) {
+        on_cycle(&path[pos..]);
+        return;
+    }
+    if done.contains(node) {
+        return;
+    }
+    path.push(node);
+    for next in adj.get(node).into_iter().flatten() {
+        dfs(next, adj, path, done, on_cycle);
+    }
+    path.pop();
+    done.insert(node);
+}
+
+/// Rotates a cycle so its lexicographically smallest lock leads.
+fn canonical<'g>(cycle: &[&'g str]) -> Vec<&'g str> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, n)| n)
+        .map_or(0, |(i, _)| i);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min..]);
+    out.extend_from_slice(&cycle[..min]);
+    out
+}
+
+fn report_cycle(
+    cycle: &[&str],
+    edges: &BTreeMap<(String, String), EdgeSite>,
+    waivers: &WaiverSet,
+    findings: &mut Vec<Finding>,
+) {
+    let mut hops = Vec::new();
+    let mut first_site: Option<&EdgeSite> = None;
+    for i in 0..cycle.len() {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % cycle.len()];
+        let site = &edges[&(a.to_string(), b.to_string())];
+        if first_site.is_none() {
+            first_site = Some(site);
+        }
+        let via = site
+            .via
+            .as_deref()
+            .map(|v| format!(" via {v}"))
+            .unwrap_or_default();
+        hops.push(format!("{b} at {}:{}{via}", site.file, site.line));
+    }
+    let site = first_site.expect("cycle has at least one edge");
+    if waivers.covers(&site.file, RULE, site.line) {
+        return;
+    }
+    findings.push(Finding::new(
+        RULE,
+        &site.file,
+        site.line,
+        format!(
+            "lock-order cycle: {} -> {}; acquire locks in one global order",
+            cycle[0],
+            hops.join(" -> "),
+        ),
+    ));
+}
+
+/// Every lock a fn acquires, directly or through resolved callees
+/// (flow-insensitive, cycle-guarded), for fns in scope.
+fn all_lock_sets(graph: &Graph, paths: &[String]) -> Vec<BTreeSet<String>> {
+    let n = graph.fns.len();
+    let mut memo: Vec<Option<BTreeSet<String>>> = vec![None; n];
+    let mut visiting = vec![false; n];
+    for idx in 0..n {
+        compute_locks(graph, idx, paths, &mut memo, &mut visiting);
+    }
+    memo.into_iter().map(Option::unwrap_or_default).collect()
+}
+
+fn compute_locks(
+    graph: &Graph,
+    idx: usize,
+    paths: &[String],
+    memo: &mut Vec<Option<BTreeSet<String>>>,
+    visiting: &mut Vec<bool>,
+) -> BTreeSet<String> {
+    if let Some(set) = &memo[idx] {
+        return set.clone();
+    }
+    if visiting[idx] {
+        return BTreeSet::new(); // recursion: under-approximate
+    }
+    visiting[idx] = true;
+    let mut set = BTreeSet::new();
+    let f = &graph.fns[idx];
+    if !f.item.in_test {
+        for event in &f.item.events {
+            match &event.kind {
+                EventKind::Lock { expr, .. } => {
+                    if let Some(id) = graph.lock_id(idx, expr) {
+                        set.insert(id);
+                    }
+                }
+                EventKind::Call { callee, recv } => {
+                    if let Some(next) = graph.resolve_call(idx, callee, recv.as_deref()) {
+                        if in_scope(&graph.fns[next].file.path, paths) {
+                            set.extend(compute_locks(graph, next, paths, memo, visiting));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    visiting[idx] = false;
+    memo[idx] = Some(set.clone());
+    set
+}
+
+fn replay(
+    graph: &Graph,
+    idx: usize,
+    lock_sets: &[BTreeSet<String>],
+    edges: &mut BTreeMap<(String, String), EdgeSite>,
+    waivers: &WaiverSet,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &graph.fns[idx];
+    let file = f.file.path.clone();
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    for event in &f.item.events {
+        match &event.kind {
+            EventKind::BlockOpen => {
+                // A temporary acquired in the statement that opens this
+                // block (`for x in m.lock().iter() {`) lives through it.
+                for g in &mut held {
+                    if let GuardKind::Armed(d) = g.kind {
+                        if d == depth {
+                            g.kind = GuardKind::Scoped(depth + 1);
+                        }
+                    }
+                }
+                depth += 1;
+            }
+            EventKind::BlockClose => {
+                depth -= 1;
+                held.retain(|g| match g.kind {
+                    GuardKind::Binding(_, d) => d <= depth,
+                    GuardKind::Scoped(d) => d <= depth,
+                    GuardKind::Armed(d) => d <= depth,
+                });
+            }
+            EventKind::StmtEnd => {
+                held.retain(|g| !matches!(g.kind, GuardKind::Armed(d) if d == depth));
+            }
+            EventKind::DropBinding { name } => {
+                held.retain(|g| !matches!(&g.kind, GuardKind::Binding(n, _) if n == name));
+            }
+            EventKind::Lock { expr, binding } => {
+                let Some(lock) = graph.lock_id(idx, expr) else {
+                    continue;
+                };
+                if held.iter().any(|g| g.lock == lock) {
+                    if !waivers.covers(&file, RULE, event.line) {
+                        findings.push(Finding::new(
+                            RULE,
+                            &file,
+                            event.line,
+                            format!(
+                                "lock `{lock}` re-acquired while already held in \
+                                 `{}`; with a non-reentrant mutex this deadlocks",
+                                f.item.qual
+                            ),
+                        ));
+                    }
+                } else {
+                    for g in &held {
+                        edges
+                            .entry((g.lock.clone(), lock.clone()))
+                            .or_insert_with(|| EdgeSite {
+                                file: file.clone(),
+                                line: event.line,
+                                via: None,
+                            });
+                    }
+                }
+                let kind = match binding {
+                    Some(name) => GuardKind::Binding(name.clone(), depth),
+                    None => GuardKind::Armed(depth),
+                };
+                held.push(Guard { lock, kind });
+            }
+            EventKind::Call { callee, recv } => {
+                if held.is_empty() {
+                    continue;
+                }
+                let Some(next) = graph.resolve_call(idx, callee, recv.as_deref()) else {
+                    continue;
+                };
+                for lock in &lock_sets[next] {
+                    for g in &held {
+                        if g.lock == *lock {
+                            continue; // flow-insensitive; skip re-entrant guesses
+                        }
+                        edges
+                            .entry((g.lock.clone(), lock.clone()))
+                            .or_insert_with(|| EdgeSite {
+                                file: file.clone(),
+                                line: event.line,
+                                via: Some(graph.fns[next].item.qual.clone()),
+                            });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::parse;
+    use crate::syntax::ParsedFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = vec![parse("crates/a/src/lib.rs", &lex(src))];
+        let g = Graph::build(&files);
+        let mut findings = Vec::new();
+        check(
+            &g,
+            &["crates/a/".to_string()],
+            &WaiverSet::default(),
+            &mut findings,
+        );
+        findings
+    }
+
+    const STRUCTS: &str = "struct P { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn opposite_nesting_orders_are_a_cycle_with_witness() {
+        let f = run(&format!(
+            "{STRUCTS}impl P {{\n\
+                 fn ab(&self) {{\n\
+                     let g = lock_or_recover(&self.a);\n\
+                     let h = lock_or_recover(&self.b);\n\
+                 }}\n\
+                 fn ba(&self) {{\n\
+                     let h = lock_or_recover(&self.b);\n\
+                     let g = lock_or_recover(&self.a);\n\
+                 }}\n\
+             }}\n"
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("lock-order cycle"),
+            "{}",
+            f[0].message
+        );
+        assert!(f[0].message.contains("P.a") && f[0].message.contains("P.b"));
+        // Edges anchor at the *second* acquisition: a->b at line 5 (in
+        // `ab`) and b->a at line 9 (in `ba`).
+        assert!(
+            f[0].message.contains("crates/a/src/lib.rs:5")
+                && f[0].message.contains("crates/a/src/lib.rs:9"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_scoped_guards_release() {
+        let f = run(&format!(
+            "{STRUCTS}impl P {{\n\
+                 fn ab(&self) {{\n\
+                     let g = lock_or_recover(&self.a);\n\
+                     let h = lock_or_recover(&self.b);\n\
+                 }}\n\
+                 fn scoped(&self) {{\n\
+                     {{ let h = lock_or_recover(&self.b); }}\n\
+                     let g = lock_or_recover(&self.a);\n\
+                 }}\n\
+                 fn dropped(&self) {{\n\
+                     let h = lock_or_recover(&self.b);\n\
+                     drop(h);\n\
+                     let g = lock_or_recover(&self.a);\n\
+                 }}\n\
+             }}\n"
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn edges_propagate_through_calls() {
+        let f = run(&format!(
+            "{STRUCTS}impl P {{\n\
+                 fn outer(&self) {{\n\
+                     let g = lock_or_recover(&self.a);\n\
+                     self.inner_b();\n\
+                 }}\n\
+                 fn inner_b(&self) {{\n\
+                     let h = lock_or_recover(&self.b);\n\
+                 }}\n\
+                 fn reversed(&self) {{\n\
+                     let h = lock_or_recover(&self.b);\n\
+                     let g = lock_or_recover(&self.a);\n\
+                 }}\n\
+             }}\n"
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("via aod_a::P::inner_b"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn reacquire_while_held_is_reported() {
+        let f = run(&format!(
+            "{STRUCTS}impl P {{\n\
+                 fn twice(&self) {{\n\
+                     let g = lock_or_recover(&self.a);\n\
+                     let h = lock_or_recover(&self.a);\n\
+                 }}\n\
+             }}\n"
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("re-acquired"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn temp_guard_through_block_header_is_held() {
+        let f = run("struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P {\n\
+                 fn header(&self) {\n\
+                     for x in lock_or_recover(&self.a).iter() {\n\
+                         let h = lock_or_recover(&self.b);\n\
+                     }\n\
+                 }\n\
+                 fn reversed(&self) {\n\
+                     let h = lock_or_recover(&self.b);\n\
+                     let g = lock_or_recover(&self.a);\n\
+                 }\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("lock-order cycle"));
+    }
+
+    #[test]
+    fn statement_temporaries_release_at_semicolon() {
+        let f = run("struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P {\n\
+                 fn stmt(&self) {\n\
+                     lock_or_recover(&self.a).push(1);\n\
+                     let h = lock_or_recover(&self.b);\n\
+                 }\n\
+                 fn reversed(&self) {\n\
+                     let h = lock_or_recover(&self.b);\n\
+                     drop(h);\n\
+                     lock_or_recover(&self.a).push(1);\n\
+                 }\n\
+             }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

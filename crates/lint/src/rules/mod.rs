@@ -1,14 +1,21 @@
 //! The named rules.
 //!
-//! Each scan rule takes one file's lexed lines plus its waivers and
-//! appends findings; which files a rule sees is decided by the policy
-//! scopes in `lint.toml` (see [`crate::policy`]). W1 is different in
-//! kind — it compares a manifest extracted from `aod_core::wire` against
-//! the committed `wire_schema.lock` — and lives in [`w1_wire_schema`].
+//! Each lexical scan rule (D1, D2, P1, V1) takes one file's lexed lines
+//! plus its waivers and appends findings; which files a rule sees is
+//! decided by the policy scopes in `lint.toml` (see [`crate::policy`]).
+//! The semantic rules (L1, O1, A1, P2) run after every file is parsed,
+//! over the [`crate::graph::Graph`] built from the scoped files. W1 is
+//! different in kind — it compares a manifest extracted from
+//! `aod_core::wire` against the committed `wire_schema.lock` — and
+//! lives in [`w1_wire_schema`].
 
+pub mod a1_hot_alloc;
 pub mod d1_hash_iteration;
 pub mod d2_time_sources;
+pub mod l1_lock_order;
+pub mod o1_atomic_ordering;
 pub mod p1_panic_paths;
+pub mod p2_panic_reach;
 pub mod v1_vendor_hygiene;
 pub mod w1_wire_schema;
 

@@ -1,0 +1,228 @@
+//! O1 — `Ordering::Relaxed` must not guard cross-thread control flow.
+//!
+//! A relaxed load is fine for a statistics counter: no other memory
+//! depends on the value read. It is *not* fine for a flag another
+//! thread sets to steer this one — cancel flags, abort flags, capacity
+//! gates — because relaxed orderings synchronize nothing: the guarded
+//! branch may observe the flag without the writes that preceded the
+//! store. The rule flags a `load(Ordering::Relaxed)` when both hold:
+//!
+//! * the load is in *guard position* — inside an `if`/`while` condition,
+//!   or the tail expression of a `-> bool` fn (a predicate some caller
+//!   will branch on);
+//! * the item graph shows the same atomic (matched by its final field or
+//!   binding name) being *written* in a different fn — so the value
+//!   genuinely crosses fn (and in this workspace, thread) boundaries.
+//!
+//! The fix is almost always `Acquire` on the load and `Release` on the
+//! store; a waiver with the reasoning is accepted where the relaxed
+//! read is deliberate.
+
+use crate::graph::Graph;
+use crate::policy::in_scope;
+use crate::report::Finding;
+use crate::rules::{ident_before, word_positions};
+use crate::waiver::WaiverSet;
+
+const RULE: &str = "O1";
+
+const WRITE_NEEDLES: &[&str] = &[
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".swap(",
+];
+
+/// Runs O1 over every fn in the `[rules.O1] paths` scope.
+pub fn check(graph: &Graph, paths: &[String], waivers: &WaiverSet, findings: &mut Vec<Finding>) {
+    // Pass 1: every atomic write site across the parsed files — the
+    // name of the written atomic and the fn doing the writing.
+    let mut writers: Vec<(String, usize)> = Vec::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.item.in_test {
+            continue;
+        }
+        for line_no in f.item.body_range.0..=f.item.body_range.1 {
+            let Some(line) = f.file.lines.get(line_no - 1) else {
+                continue;
+            };
+            for needle in WRITE_NEEDLES {
+                for pos in positions(&line.code, needle) {
+                    if let Some(name) = ident_before(&line.code, pos) {
+                        writers.push((name.to_string(), idx));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: relaxed loads in guard position.
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.item.in_test || !in_scope(&f.file.path, paths) {
+            continue;
+        }
+        let returns_bool = f.item.sig.contains("->bool") || f.item.sig.contains("-> bool");
+        let tail_line = tail_expr_line(graph, idx);
+        for line_no in f.item.body_range.0..=f.item.body_range.1 {
+            let Some(line) = f.file.lines.get(line_no - 1) else {
+                continue;
+            };
+            if line.in_test {
+                continue;
+            }
+            for pos in positions(&line.code, ".load(") {
+                let args_end = line.code[pos..]
+                    .find(')')
+                    .map_or(line.code.len(), |e| pos + e);
+                if !line.code[pos..args_end].contains("Relaxed") {
+                    continue;
+                }
+                let Some(name) = ident_before(&line.code, pos) else {
+                    continue;
+                };
+                let in_condition = {
+                    let before = &line.code[..pos];
+                    !word_positions(before, "if").is_empty()
+                        || !word_positions(before, "while").is_empty()
+                };
+                let is_bool_tail = returns_bool
+                    && tail_line == Some(line_no)
+                    && !line.code.trim_end().ends_with(';');
+                if !in_condition && !is_bool_tail {
+                    continue;
+                }
+                let Some(&(_, widx)) = writers
+                    .iter()
+                    .find(|&&(ref n, widx)| n == name && widx != idx)
+                else {
+                    continue;
+                };
+                if waivers.covers(&f.file.path, RULE, line_no) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    RULE,
+                    &f.file.path,
+                    line_no,
+                    format!(
+                        "`{name}.load(Ordering::Relaxed)` gates control flow but `{name}` \
+                         is written by `{}`; load with `Acquire` and store with `Release`, \
+                         or waive with the reasoning",
+                        graph.fns[widx].item.qual
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The line of the fn's tail expression: the last body line carrying
+/// anything other than closing braces.
+fn tail_expr_line(graph: &Graph, idx: usize) -> Option<usize> {
+    let f = &graph.fns[idx];
+    let (start, end) = f.item.body_range;
+    for line_no in (start..=end).rev() {
+        let code = f.file.lines.get(line_no - 1)?.code.trim();
+        if code
+            .chars()
+            .any(|c| c != '}' && c != '{' && !c.is_whitespace())
+        {
+            return Some(line_no);
+        }
+    }
+    None
+}
+
+fn positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::{parse, ParsedFile};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = vec![parse("crates/a/src/lib.rs", &lex(src))];
+        let g = Graph::build(&files);
+        let mut findings = Vec::new();
+        check(
+            &g,
+            &["crates/a/".to_string()],
+            &WaiverSet::default(),
+            &mut findings,
+        );
+        findings
+    }
+
+    #[test]
+    fn relaxed_guard_flag_with_cross_fn_writer_is_flagged() {
+        let f = run("struct W { stop: AtomicBool }\n\
+             impl W {\n\
+                 fn work(&self) {\n\
+                     if self.stop.load(Ordering::Relaxed) { return; }\n\
+                 }\n\
+                 fn cancel(&self) { self.stop.store(true, Ordering::Relaxed); }\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("aod_a::W::cancel"),
+            "{}",
+            f[0].message
+        );
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn bool_predicate_tail_counts_as_guard_position() {
+        let f = run("struct T { inner: AtomicBool }\n\
+             impl T {\n\
+                 fn set(&self) { self.inner.store(true, Ordering::Relaxed); }\n\
+                 fn is_set(&self) -> bool {\n\
+                     self.inner.load(Ordering::Relaxed)\n\
+                 }\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn counters_and_upgraded_orderings_pass() {
+        let f = run("struct C { hits: AtomicU64, stop: AtomicBool }\n\
+             impl C {\n\
+                 fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }\n\
+                 fn hits(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n\
+                 fn set(&self) { self.stop.store(true, Ordering::Release); }\n\
+                 fn work(&self) {\n\
+                     if self.stop.load(Ordering::Acquire) { return; }\n\
+                 }\n\
+             }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn same_fn_writes_do_not_count_as_cross_thread() {
+        let f = run("fn local_only() {\n\
+                 let flag = AtomicBool::new(false);\n\
+                 flag.store(true, Ordering::Relaxed);\n\
+                 if flag.load(Ordering::Relaxed) { work(); }\n\
+             }\n\
+             fn work() {}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

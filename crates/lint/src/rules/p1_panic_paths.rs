@@ -15,7 +15,7 @@ use crate::waiver::Waivers;
 
 const RULE: &str = "P1";
 
-const PANIC_CALLS: [(&str, &str); 3] = [
+pub(crate) const PANIC_CALLS: [(&str, &str); 3] = [
     (
         ".unwrap()",
         "`.unwrap()` panics on the error path; propagate the error instead",
@@ -66,7 +66,7 @@ pub fn check(file: &str, lines: &[Line], waivers: &Waivers, findings: &mut Vec<F
 /// non-whitespace char continues a value (identifier, `)`, or `]`).
 /// Array literals (`= [`), types (`&[u8]`), attributes (`#[…]`) and
 /// macros (`vec![`) all follow punctuation and never match.
-fn index_positions(code: &str) -> Vec<usize> {
+pub(crate) fn index_positions(code: &str) -> Vec<usize> {
     let bytes = code.as_bytes();
     let mut out = Vec::new();
     for (pos, c) in code.char_indices() {

@@ -1,0 +1,162 @@
+//! P2 — panic idioms transitively reachable from request handlers.
+//!
+//! P1 patrols the serve request/job *files* by path; a handler calling
+//! into `aod_core::json` or `aod_table` leaves that scope, and an
+//! `.unwrap()` three calls deep still kills the request (or poisons a
+//! registry mutex) exactly like one in the handler itself. P2 closes
+//! the gap with graph reachability: from the registered roots
+//! (`lint.toml [rules.P2] roots`, typically the connection handler),
+//! every reachable fn inside `[rules.P2] paths` is scanned for the
+//! calling panic idioms — `.unwrap()`, `.expect(…)`, `panic!` — with
+//! the witness call chain in the finding.
+//!
+//! Files already under P1 are skipped (one rule, one finding), and
+//! unlike P1 the rule does not flag slice indexing: byte-level parsers
+//! on this path prove their bounds locally line by line, and P1 already
+//! enforces the stricter standard where requests are actually handled.
+
+use crate::graph::Graph;
+use crate::policy::in_scope;
+use crate::report::Finding;
+use crate::rules::p1_panic_paths::PANIC_CALLS;
+use crate::waiver::WaiverSet;
+
+const RULE: &str = "P2";
+
+/// Runs P2: panic idioms in fns reachable from the request-path roots,
+/// excluding files P1 already patrols.
+pub fn check(
+    graph: &Graph,
+    roots: &[String],
+    paths: &[String],
+    p1_paths: &[String],
+    p1_exclude: &[String],
+    waivers: &WaiverSet,
+    findings: &mut Vec<Finding>,
+) {
+    let mut root_fns = Vec::new();
+    for pat in roots {
+        let hits = graph.find_fns(pat);
+        if hits.is_empty() {
+            findings.push(Finding::new(
+                RULE,
+                "lint.toml",
+                0,
+                format!("[rules.P2] root `{pat}` matches no fn in the parsed scope; fix the root or widen [rules.P2] paths"),
+            ));
+        }
+        root_fns.extend(hits);
+    }
+    let reach = graph.reachable_from(&root_fns, |i| in_scope(&graph.fns[i].file.path, paths));
+    for &idx in reach.keys() {
+        let f = &graph.fns[idx];
+        // P1's own scope: one rule per site.
+        if in_scope(&f.file.path, p1_paths) && !in_scope(&f.file.path, p1_exclude) {
+            continue;
+        }
+        for line_no in f.item.body_range.0..=f.item.body_range.1 {
+            let Some(line) = f.file.lines.get(line_no - 1) else {
+                continue;
+            };
+            if line.in_test {
+                continue;
+            }
+            for (needle, _) in PANIC_CALLS {
+                if !line.code.contains(needle) {
+                    continue;
+                }
+                if waivers.covers(&f.file.path, RULE, line_no) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    RULE,
+                    &f.file.path,
+                    line_no,
+                    format!(
+                        "`{}` can panic on a request path ({}); return an error, \
+                         or waive with why it is infallible",
+                        needle.trim_start_matches('.').trim_end_matches('('),
+                        graph.witness(&reach, idx)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::{parse, ParsedFile};
+
+    fn run(srcs: &[(&str, &str)], roots: &[&str], p1_paths: &[&str]) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = srcs.iter().map(|(p, s)| parse(p, &lex(s))).collect();
+        let g = Graph::build(&files);
+        let mut findings = Vec::new();
+        check(
+            &g,
+            &roots.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &["crates/".to_string()],
+            &p1_paths.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &[],
+            &WaiverSet::default(),
+            &mut findings,
+        );
+        findings
+    }
+
+    #[test]
+    fn transitive_unwrap_is_flagged_with_the_call_chain() {
+        let f = run(
+            &[
+                (
+                    "crates/serve/src/server.rs",
+                    "pub fn handle() { aod_core::parse_json(); }\n",
+                ),
+                (
+                    "crates/core/src/json.rs",
+                    "pub fn parse_json() { deep(); }\n\
+                     fn deep() { let c = x.unwrap(); }\n\
+                     fn unreached() { y.unwrap(); }\n",
+                ),
+            ],
+            &["handle"],
+            &[],
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, "crates/core/src/json.rs");
+        assert!(
+            f[0].message
+                .contains("aod_serve::handle -> aod_core::parse_json -> aod_core::deep"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn p1_scoped_files_are_left_to_p1() {
+        let f = run(
+            &[(
+                "crates/serve/src/server.rs",
+                "pub fn handle() { x.unwrap(); }\n",
+            )],
+            &["handle"],
+            &["crates/serve/src/"],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_is_not_flagged_by_p2() {
+        let f = run(
+            &[(
+                "crates/core/src/json.rs",
+                "pub fn entry() { let b = bytes[pos]; }\n",
+            )],
+            &["entry"],
+            &[],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

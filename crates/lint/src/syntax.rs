@@ -1,0 +1,798 @@
+//! A lightweight brace-matched item parser for the semantic rules.
+//!
+//! The lexical rules look at one line at a time; the semantic rules
+//! (L1 lock order, O1 atomic orderings, A1 hot-path allocations, P2
+//! panic reachability) need *structure*: which `fn` a line belongs to,
+//! who calls whom, and where a mutex guard's scope ends. This module
+//! recovers exactly that much structure from the lexed code text — no
+//! type inference, no macro expansion, name-based resolution like the
+//! W1 extractor — and nothing more:
+//!
+//! * items: `impl` blocks (inherent and trait), `trait` blocks, `struct`
+//!   fields (for resolving `x.field` receivers to `Owner.field` lock
+//!   names), and `fn` bodies;
+//! * per-fn event streams in source order: calls and method calls (with
+//!   the receiver chain when it is a plain `self.a.b` path), lock
+//!   acquisitions (`expr.lock()` and `lock_or_recover(&expr)`),
+//!   `drop(binding)` sites, and the block/statement boundaries the L1
+//!   guard-scope replay needs.
+//!
+//! Closures and nested items are attributed to the enclosing `fn`: for
+//! the rules here that is the right call — code inside a closure spawned
+//! by `submit` still runs with `submit`'s locks in scope, or on a thread
+//! whose acquisition order still participates in the global lock order.
+
+use crate::lexer::{is_ident_char, Line};
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Crate identifier derived from the path (`crates/serve/…` →
+    /// `aod_serve`, `vendor/loom/…` → `loom`, anything else → `ws`).
+    pub crate_ident: String,
+    /// The lexed lines, kept so rules can re-scan body text by range.
+    pub lines: Vec<Line>,
+    /// Every `fn` with a body, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every named-struct field, for receiver/lock resolution.
+    pub fields: Vec<FieldDef>,
+}
+
+/// A struct field definition.
+#[derive(Debug)]
+pub struct FieldDef {
+    /// The struct that declares the field.
+    pub owner: String,
+    /// Field name.
+    pub name: String,
+    /// Field type, joined token text (`Mutex<VecDeque<usize>>`).
+    pub ty: String,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare name.
+    pub name: String,
+    /// `crate_ident::[ImplType::]name` — the address rule roots and
+    /// witness paths use.
+    pub qual: String,
+    /// Enclosing `impl`/`trait` type, when any.
+    pub impl_type: Option<String>,
+    /// Signature code text from `fn` to the body `{` (joined lines).
+    pub sig: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-indexed inclusive line range of the body (braces included).
+    pub body_range: (usize, usize),
+    /// `true` when the item sits inside a `#[cfg(test)] mod` block.
+    pub in_test: bool,
+    /// Body events in source order.
+    pub events: Vec<Event>,
+}
+
+/// One body event at a source line.
+#[derive(Debug)]
+pub struct Event {
+    /// 1-indexed line.
+    pub line: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event kinds the semantic rules replay.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A call. `callee` keeps the written path (`Partition::unit`,
+    /// `crate::sync::lock_or_recover`); `recv` is the receiver chain for
+    /// method calls when it is a plain `self.a.b`/`x.y` path (`?` when
+    /// the receiver is a more complex expression).
+    Call {
+        /// Written callee path.
+        callee: String,
+        /// Method-call receiver chain, if any.
+        recv: Option<String>,
+    },
+    /// A lock acquisition: `expr.lock()` or `lock_or_recover(&expr)`.
+    Lock {
+        /// The locked expression (`self.jobs`, `job.state`, `m`).
+        expr: String,
+        /// `let` binding holding the guard, when the acquisition is the
+        /// initializer of a `let` at the same depth.
+        binding: Option<String>,
+    },
+    /// `drop(name)` — an early guard release.
+    DropBinding {
+        /// The dropped binding.
+        name: String,
+    },
+    /// `{` inside the body.
+    BlockOpen,
+    /// `}` inside the body.
+    BlockClose,
+    /// `;` — end of statement at the current depth.
+    StmtEnd,
+}
+
+/// Derives the crate identifier used in qualified fn names.
+pub fn crate_ident_for(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(dir)) => format!("aod_{}", dir.replace('-', "_")),
+        (Some("vendor"), Some(dir)) => dir.replace('-', "_"),
+        _ => "ws".to_string(),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    line: usize, // 1-indexed
+    in_test: bool,
+    tok: Tok,
+}
+
+fn tokenize(lines: &[Line]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_whitespace() || c == '"' || c == '\'' {
+                // Literal contents are already blanked; the delimiters
+                // carry no structure the rules need.
+                i += 1;
+                continue;
+            }
+            if is_ident_char(c) {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                out.push(Token {
+                    line: idx + 1,
+                    in_test: line.in_test,
+                    tok: Tok::Ident(code[start..i].to_string()),
+                });
+            } else {
+                out.push(Token {
+                    line: idx + 1,
+                    in_test: line.in_test,
+                    tok: Tok::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s),
+        Tok::Punct(_) => None,
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Parses one file into items and per-fn event streams.
+pub fn parse(path: &str, lines: &[Line]) -> ParsedFile {
+    let crate_ident = crate_ident_for(path);
+    let toks = tokenize(lines);
+    let mut fns = Vec::new();
+    let mut fields = Vec::new();
+    // (type name, brace depth the block body runs at).
+    let mut impl_stack: Vec<(String, i32)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                impl_stack.retain(|&(_, d)| d <= depth);
+                i += 1;
+            }
+            Tok::Ident(word) if word == "impl" || word == "trait" => {
+                if let Some((ty, next)) = parse_impl_header(&toks, i) {
+                    impl_stack.push((ty, depth + 1));
+                    depth += 1;
+                    i = next; // past the opening `{`
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(word) if word == "struct" => {
+                i = parse_struct(&toks, i, &mut fields);
+            }
+            Tok::Ident(word) if word == "fn" => {
+                let impl_type = impl_stack.last().map(|(t, _)| t.clone());
+                i = parse_fn(&toks, i, path, &crate_ident, impl_type, &mut fns);
+            }
+            _ => i += 1,
+        }
+    }
+    ParsedFile {
+        path: path.to_string(),
+        crate_ident,
+        lines: lines.to_vec(),
+        fns,
+        fields,
+    }
+}
+
+/// Parses `impl … {` / `trait … {` starting at `i` (the keyword). Returns
+/// the subject type's head identifier and the index past the `{`, or
+/// `None` for headerless forms (e.g. a `trait` bound in a signature —
+/// callers only pass real item positions, but stay defensive).
+fn parse_impl_header(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut ty: Option<String> = None;
+    let mut ty_done = false;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') if angle == 0 => {
+                return ty.map(|t| (t, j + 1));
+            }
+            Tok::Punct(';') if angle == 0 => return None,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = (angle - 1).max(0),
+            Tok::Ident(w) if angle == 0 => {
+                if w == "for" {
+                    // `impl Trait for Type` — the subject is after `for`.
+                    ty = None;
+                    ty_done = false;
+                } else if w == "where" {
+                    ty_done = true;
+                } else if !ty_done {
+                    // Track the last path segment before generics:
+                    // `foo::Bar<T>` → `Bar`. A `::` continues the path.
+                    let continues =
+                        j >= 2 && is_punct(&toks[j - 1], ':') && is_punct(&toks[j - 2], ':');
+                    if ty.is_none() || continues {
+                        ty = Some(w.clone());
+                    } else if !matches!(w.as_str(), "dyn" | "mut" | "const" | "unsafe" | "pub") {
+                        // Second independent ident (`Stack<T>`'s `T`
+                        // never gets here — it is inside `<>`); keep the
+                        // first.
+                        ty_done = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `struct Name { field: Ty, … }` field lists. Returns the index
+/// to resume at. Tuple structs and unit structs contribute no fields.
+fn parse_struct(toks: &[Token], i: usize, fields: &mut Vec<FieldDef>) -> usize {
+    let Some(name) = toks.get(i + 1).and_then(ident) else {
+        return i + 1;
+    };
+    let name = name.to_string();
+    // Skip generics to the body delimiter.
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = (angle - 1).max(0),
+            Tok::Punct('{') if angle == 0 => break,
+            Tok::Punct('(') | Tok::Punct(';') if angle == 0 => return j, // tuple/unit
+            Tok::Ident(w) if angle == 0 && w == "where" => {}
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return j;
+    }
+    // Field list: `ident :` at depth 1 starts a field; its type runs to
+    // the `,` (or `}`) at depth 1 / angle 0.
+    let mut depth = 1i32;
+    j += 1;
+    while j < toks.len() && depth > 0 {
+        match &toks[j].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                j += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                j += 1;
+            }
+            Tok::Ident(w) if depth == 1 && toks.get(j + 1).is_some_and(|t| is_punct(t, ':')) => {
+                // Not a `::` path and not a visibility keyword.
+                let double = toks.get(j + 2).is_some_and(|t| is_punct(t, ':'));
+                if double || matches!(w.as_str(), "pub" | "crate") {
+                    j += 1;
+                    continue;
+                }
+                let fname = w.clone();
+                let mut ty = String::new();
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut k = j + 2;
+                while k < toks.len() {
+                    match &toks[k].tok {
+                        Tok::Punct(',') if angle == 0 && paren == 0 => break,
+                        Tok::Punct('}') if angle == 0 && paren == 0 => break,
+                        Tok::Punct('<') => angle += 1,
+                        Tok::Punct('>') => angle = (angle - 1).max(0),
+                        Tok::Punct('(') => paren += 1,
+                        Tok::Punct(')') => paren -= 1,
+                        _ => {}
+                    }
+                    match &toks[k].tok {
+                        Tok::Ident(w) => {
+                            if ty.ends_with(|c: char| is_ident_char(c)) {
+                                ty.push(' ');
+                            }
+                            ty.push_str(w);
+                        }
+                        Tok::Punct(c) => ty.push(*c),
+                    }
+                    k += 1;
+                }
+                fields.push(FieldDef {
+                    owner: name.clone(),
+                    name: fname,
+                    ty,
+                });
+                j = k;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Parses `fn name …` at `i`. Returns the index to resume at.
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    _path: &str,
+    crate_ident: &str,
+    impl_type: Option<String>,
+    fns: &mut Vec<FnItem>,
+) -> usize {
+    let Some(name) = toks.get(i + 1).and_then(ident) else {
+        return i + 1;
+    };
+    let name = name.to_string();
+    // Signature runs to the first `{` (body) or `;` (trait decl).
+    let mut j = i + 2;
+    let mut sig = format!("fn {name}");
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => break,
+            Tok::Punct(';') => return j + 1, // bodyless decl
+            Tok::Ident(w) => {
+                if sig.ends_with(|c: char| is_ident_char(c)) {
+                    sig.push(' ');
+                }
+                sig.push_str(w);
+                j += 1;
+            }
+            Tok::Punct(c) => {
+                sig.push(*c);
+                j += 1;
+            }
+        }
+    }
+    if j >= toks.len() {
+        return j;
+    }
+    let body_start_line = toks[j].line;
+    let (events, end) = parse_body(toks, j + 1);
+    let end_line = toks
+        .get(end.saturating_sub(1))
+        .map_or(body_start_line, |t| t.line);
+    let qual = match &impl_type {
+        Some(t) => format!("{crate_ident}::{t}::{name}"),
+        None => format!("{crate_ident}::{name}"),
+    };
+    fns.push(FnItem {
+        name,
+        qual,
+        impl_type,
+        sig,
+        start_line: toks[i].line,
+        body_range: (body_start_line, end_line),
+        in_test: toks[i].in_test,
+        events,
+    });
+    end
+}
+
+/// Walks a fn body starting just past its `{`, emitting events until the
+/// matching `}`. Returns the events and the index just past that `}`.
+fn parse_body(toks: &[Token], start: usize) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut depth = 1i32; // the body's own brace
+                          // Pending `let` bindings: (name, depth at the `let`).
+    let mut lets: Vec<(String, i32)> = Vec::new();
+    let mut j = start;
+    while j < toks.len() {
+        let line = toks[j].line;
+        match &toks[j].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                events.push(Event {
+                    line,
+                    kind: EventKind::BlockOpen,
+                });
+                j += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                lets.retain(|&(_, d)| d <= depth);
+                if depth == 0 {
+                    return (events, j + 1);
+                }
+                events.push(Event {
+                    line,
+                    kind: EventKind::BlockClose,
+                });
+                j += 1;
+            }
+            Tok::Punct(';') => {
+                lets.retain(|&(_, d)| d < depth);
+                events.push(Event {
+                    line,
+                    kind: EventKind::StmtEnd,
+                });
+                j += 1;
+            }
+            Tok::Ident(w) if w == "let" => {
+                // `let [mut] name =` — patterns (`let (a, b)`,
+                // `let Some(x)`) bind no single guard and are skipped.
+                let mut k = j + 1;
+                if toks.get(k).and_then(ident) == Some("mut") {
+                    k += 1;
+                }
+                if let Some(n) = toks.get(k).and_then(ident) {
+                    let eq = toks
+                        .get(k + 1)
+                        .is_some_and(|t| is_punct(t, '=') || is_punct(t, ':'));
+                    if eq && n.chars().next().is_some_and(char::is_lowercase) {
+                        lets.push((n.to_string(), depth));
+                    }
+                }
+                j += 1;
+            }
+            Tok::Ident(w) if toks.get(j + 1).is_some_and(|t| is_punct(t, '(')) => {
+                // A call — unless it is a macro (`name!(`) or a keyword
+                // (`if (x)`, `match (a, b)`, …).
+                if j > 0 && is_punct(&toks[j - 1], '!') {
+                    j += 1;
+                    continue;
+                }
+                if matches!(
+                    w.as_str(),
+                    "if" | "while"
+                        | "for"
+                        | "match"
+                        | "return"
+                        | "loop"
+                        | "in"
+                        | "as"
+                        | "let"
+                        | "move"
+                        | "else"
+                        | "fn"
+                        | "break"
+                        | "continue"
+                ) {
+                    j += 1;
+                    continue;
+                }
+                let (callee, path_start) = callee_path(toks, j);
+                let recv = receiver_chain(toks, path_start);
+                let last = callee.rsplit("::").next().unwrap_or(&callee);
+                let empty_args = toks.get(j + 2).is_some_and(|t| is_punct(t, ')'));
+                if last == "lock" && recv.as_deref().is_some_and(|r| r != "self") && empty_args {
+                    let expr = recv.clone().unwrap_or_else(|| "?".to_string());
+                    let binding = binding_for(&lets, depth);
+                    events.push(Event {
+                        line,
+                        kind: EventKind::Lock { expr, binding },
+                    });
+                    j += 2; // past the `(` — the `)` is plain punct
+                    continue;
+                }
+                if last == "lock_or_recover" {
+                    let expr = first_arg_expr(toks, j + 2);
+                    let binding = binding_for(&lets, depth);
+                    events.push(Event {
+                        line,
+                        kind: EventKind::Lock { expr, binding },
+                    });
+                    j += 2;
+                    continue;
+                }
+                if callee == "drop" {
+                    if let Some(n) = toks.get(j + 2).and_then(ident) {
+                        if toks.get(j + 3).is_some_and(|t| is_punct(t, ')')) {
+                            events.push(Event {
+                                line,
+                                kind: EventKind::DropBinding {
+                                    name: n.to_string(),
+                                },
+                            });
+                            j += 4;
+                            continue;
+                        }
+                    }
+                }
+                events.push(Event {
+                    line,
+                    kind: EventKind::Call { callee, recv },
+                });
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (events, j)
+}
+
+fn binding_for(lets: &[(String, i32)], depth: i32) -> Option<String> {
+    lets.iter()
+        .rev()
+        .find(|&&(_, d)| d == depth)
+        .map(|(n, _)| n.clone())
+}
+
+/// The full written path of the callee whose final segment is at `j`,
+/// plus the index of the path's first token.
+fn callee_path(toks: &[Token], j: usize) -> (String, usize) {
+    let mut segs = vec![ident(&toks[j]).unwrap_or("").to_string()];
+    let mut start = j;
+    while start >= 3
+        && is_punct(&toks[start - 1], ':')
+        && is_punct(&toks[start - 2], ':')
+        && ident(&toks[start - 3]).is_some()
+    {
+        start -= 3;
+        segs.push(ident(&toks[start]).unwrap_or("").to_string());
+    }
+    segs.reverse();
+    (segs.join("::"), start)
+}
+
+/// The `self.a.b` / `x.y` receiver chain ending just before `path_start`,
+/// when the token before it is `.`. Complex receivers (`make().x`,
+/// `arr[i].y`) come back as `Some("?")`.
+fn receiver_chain(toks: &[Token], path_start: usize) -> Option<String> {
+    if path_start == 0 || !is_punct(&toks[path_start - 1], '.') {
+        return None;
+    }
+    let mut segs: Vec<String> = Vec::new();
+    let mut k = path_start - 1; // at the `.`
+    loop {
+        // Expect an ident before the `.`.
+        if k == 0 {
+            return Some("?".to_string());
+        }
+        let Some(seg) = ident(&toks[k - 1]) else {
+            return Some("?".to_string());
+        };
+        // Numeric tuple indexes (`pair.0`) and `await` keep the chain
+        // opaque — the rules only resolve named field chains.
+        if seg.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Some("?".to_string());
+        }
+        segs.push(seg.to_string());
+        k -= 1;
+        if k == 0 || !is_punct(&toks[k - 1], '.') {
+            break;
+        }
+        k -= 1; // past the `.`, next segment
+    }
+    // The chain must *start* at an expression boundary, not continue a
+    // call/index result (`make().x.lock()`).
+    if k > 0 && (is_punct(&toks[k - 1], ')') || is_punct(&toks[k - 1], ']')) {
+        return Some("?".to_string());
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+/// The first argument expression after an opening paren at `open`
+/// (`lock_or_recover(&self.jobs)` → `self.jobs`).
+fn first_arg_expr(toks: &[Token], open: usize) -> String {
+    let mut out = String::new();
+    let mut k = open + 1;
+    let mut paren = 0i32;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') if paren == 0 => break,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct(',') if paren == 0 => break,
+            _ => {}
+        }
+        match &toks[k].tok {
+            Tok::Ident(w) if w == "mut" => {}
+            Tok::Ident(w) => {
+                if out.ends_with(|c: char| is_ident_char(c)) {
+                    out.push(' ');
+                }
+                out.push_str(w);
+            }
+            Tok::Punct('&') => {}
+            Tok::Punct(c) => out.push(*c),
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse("crates/demo/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn fns_get_quals_from_impl_blocks() {
+        let f = parse_src(
+            "pub fn free() {}\n\
+             struct S { x: u32 }\n\
+             impl S {\n    pub fn method(&self) -> bool { true }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n\
+             trait T {\n    fn provided(&self) {}\n    fn decl(&self);\n}\n",
+        );
+        let quals: Vec<&str> = f.fns.iter().map(|x| x.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            [
+                "aod_demo::free",
+                "aod_demo::S::method",
+                "aod_demo::S::fmt",
+                "aod_demo::T::provided"
+            ]
+        );
+        // Punct tokens join without spaces in the normalized signature.
+        assert!(f.fns[1].sig.contains("->bool"), "{}", f.fns[1].sig);
+    }
+
+    #[test]
+    fn struct_fields_record_owner_and_type() {
+        let f = parse_src(
+            "pub struct Q {\n    pub inner: Mutex<VecDeque<usize>>,\n    n: usize,\n}\n\
+             struct Unit;\nstruct Tup(u32);\n",
+        );
+        assert_eq!(f.fields.len(), 2);
+        assert_eq!(f.fields[0].owner, "Q");
+        assert_eq!(f.fields[0].name, "inner");
+        assert_eq!(f.fields[0].ty, "Mutex<VecDeque<usize>>");
+        assert_eq!(f.fields[1].ty, "usize");
+    }
+
+    #[test]
+    fn lock_events_capture_expr_and_binding() {
+        let f = parse_src(
+            "fn a(&self) {\n\
+                 let g = self.inner.lock();\n\
+                 lock_or_recover(&self.jobs);\n\
+                 let s = crate::sync::lock_or_recover(&job.state);\n\
+                 drop(g);\n\
+             }\n",
+        );
+        let ev = &f.fns[0].events;
+        let descr: Vec<String> = ev
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Lock { expr, binding } => {
+                    format!("lock {expr} as {}", binding.as_deref().unwrap_or("_"))
+                }
+                EventKind::DropBinding { name } => format!("drop {name}"),
+                EventKind::StmtEnd => ";".into(),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            descr,
+            [
+                "lock self.inner as g",
+                ";",
+                "lock self.jobs as _",
+                ";",
+                "lock job.state as s",
+                ";",
+                "drop g",
+                ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn calls_keep_paths_and_receivers() {
+        let f = parse_src(
+            "fn a() {\n\
+                 helper(1);\n\
+                 x.method();\n\
+                 Partition::unit(n);\n\
+                 self.jobs.len();\n\
+                 make().chain();\n\
+                 vec![1].pop();\n\
+             }\n",
+        );
+        let calls: Vec<String> = f.fns[0]
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call { callee, recv } => {
+                    Some(format!("{callee}@{}", recv.as_deref().unwrap_or("-")))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            calls,
+            [
+                "helper@-",
+                "method@x",
+                "Partition::unit@-",
+                "len@self.jobs",
+                "make@-",
+                "chain@?",
+                "pop@?"
+            ]
+        );
+    }
+
+    #[test]
+    fn inner_block_lets_do_not_leak_bindings() {
+        let f = parse_src(
+            "fn a(&self) {\n\
+                 let out = {\n\
+                     let s = lock_or_recover(&self.state);\n\
+                     s.x\n\
+                 };\n\
+                 lock_or_recover(&self.other);\n\
+             }\n",
+        );
+        let locks: Vec<(String, Option<String>)> = f.fns[0]
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Lock { expr, binding } => Some((expr.clone(), binding.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks[0], ("self.state".into(), Some("s".into())));
+        assert_eq!(locks[1], ("self.other".into(), None));
+    }
+
+    #[test]
+    fn test_mod_fns_are_marked() {
+        let f = parse_src("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.lock(); }\n}\n");
+        assert!(!f.fns[0].in_test);
+        assert!(f.fns[1].in_test);
+    }
+}

@@ -91,6 +91,33 @@ impl Waivers {
     }
 }
 
+/// The waivers of every scanned file, keyed by path — the semantic
+/// rules run after all files are lexed, so they look waivers up here
+/// instead of holding one file's [`Waivers`].
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    files: std::collections::BTreeMap<String, Waivers>,
+}
+
+impl WaiverSet {
+    /// Adds one file's parsed waivers.
+    pub fn insert(&mut self, file: String, waivers: Waivers) {
+        self.files.insert(file, waivers);
+    }
+
+    /// [`Waivers::covers`] for the given file.
+    pub fn covers(&self, file: &str, rule: &str, line: usize) -> bool {
+        self.files.get(file).is_some_and(|w| w.covers(rule, line))
+    }
+
+    /// Reports unused waivers across every file.
+    pub fn report_unused(&self, findings: &mut Vec<Finding>) {
+        for (file, waivers) in &self.files {
+            waivers.report_unused(file, findings);
+        }
+    }
+}
+
 fn parse_directive(rest: &str) -> Result<Vec<String>, String> {
     let rest = rest
         .strip_prefix("allow")

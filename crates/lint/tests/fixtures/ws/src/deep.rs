@@ -1,0 +1,16 @@
+//! Seeded transitive-panic cases: `decode` is called from the serve
+//! handler and reaches `parse_inner`'s `.unwrap()` two frames deep
+//! (fires P2 with the witness chain); `not_on_path` is unreachable from
+//! the registered roots and stays clean.
+
+pub fn decode(input: &str) -> u32 {
+    parse_inner(input)
+}
+
+fn parse_inner(input: &str) -> u32 {
+    input.trim().parse().unwrap()
+}
+
+fn not_on_path() -> u32 {
+    "7".parse().unwrap()
+}

@@ -1,0 +1,24 @@
+//! Seeded atomic-ordering cases: `run` gates its loop on a Relaxed load
+//! of a flag another fn stores (fires O1); the `ticks` counter is a
+//! plain statistic and stays clean.
+
+pub struct Flags {
+    stop: AtomicBool,
+    ticks: AtomicU64,
+}
+
+impl Flags {
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    pub fn run(&self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.ticks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}

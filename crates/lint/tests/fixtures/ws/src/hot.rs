@@ -1,0 +1,28 @@
+//! Seeded hot-path allocation cases: `hot_entry` reaches `grow`, which
+//! allocates per call (fires A1 with the witness chain); `hot_build`
+//! allocates its own *output* under a justified waiver; `cold_path` is
+//! not reachable from any registered root and stays clean.
+
+pub fn hot_entry(vals: &[u32], scratch: &mut Vec<u32>) -> usize {
+    scratch.clear();
+    grow(vals)
+}
+
+fn grow(vals: &[u32]) -> usize {
+    let mut tmp = Vec::new();
+    for v in vals {
+        tmp.push(*v * 2);
+    }
+    tmp.len()
+}
+
+pub fn hot_build(vals: &[u32]) -> Vec<u32> {
+    // aod-lint: allow(A1) -- output buffer moved to the caller, not scratch
+    let mut out = Vec::new();
+    out.extend_from_slice(vals);
+    out
+}
+
+fn cold_path() -> String {
+    format!("only called from setup, never from a hot root")
+}

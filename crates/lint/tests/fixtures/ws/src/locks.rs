@@ -1,0 +1,51 @@
+//! Seeded lock-order cases: `ab`/`ba` nest in opposite orders (cycle),
+//! `reacquire` takes the same lock twice, `bc`/`cb` cycle but carry a
+//! justified waiver, `scoped_ok` releases before the next acquisition.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) {
+        let g = lock_or_recover(&self.a);
+        let h = lock_or_recover(&self.b);
+        *h += *g;
+    }
+
+    pub fn ba(&self) {
+        let h = lock_or_recover(&self.b);
+        let g = lock_or_recover(&self.a);
+        *g += *h;
+    }
+
+    pub fn reacquire(&self) {
+        let g = lock_or_recover(&self.c);
+        let h = lock_or_recover(&self.c);
+        *h += *g;
+    }
+
+    pub fn bc(&self) {
+        let g = lock_or_recover(&self.b);
+        // aod-lint: allow(L1) -- b and c guard independent state; cycle is benign here
+        let h = lock_or_recover(&self.c);
+        *h += *g;
+    }
+
+    pub fn cb(&self) {
+        let h = lock_or_recover(&self.c);
+        let g = lock_or_recover(&self.b);
+        *g += *h;
+    }
+
+    pub fn scoped_ok(&self) {
+        {
+            let h = lock_or_recover(&self.b);
+            *h += 1;
+        }
+        let g = lock_or_recover(&self.a);
+        *g += 1;
+    }
+}

@@ -12,3 +12,10 @@ pub fn handle(body: &[u8], routes: &std::collections::HashMap<String, u32>) -> u
     let checked = body[0];
     u32::from(first) + route + u32::from(checked)
 }
+
+/// P2 root: the handler's own panics above are P1's business (this file
+/// is in P1 scope), but the call into `deep::decode` leaves that scope
+/// and P2 follows it.
+pub fn route_request(body: &str) -> u32 {
+    decode(body)
+}

@@ -1,0 +1,91 @@
+//! The JSON and SARIF reports are hand-emitted (the linter has zero
+//! runtime dependencies), so these tests round-trip them through
+//! `aod_core::json` — a real parser — to prove the escaping and
+//! structure are valid, and pin the SARIF shape CI uploads.
+
+use aod_core::json::JsonValue;
+use aod_lint::report::{render_json, render_sarif, Finding, RULES};
+
+fn findings() -> Vec<Finding> {
+    vec![
+        Finding::new("W1", "wire_schema.lock", 0, "whole-file finding"),
+        Finding::new(
+            "P1",
+            "crates/serve/src/handler.rs",
+            7,
+            "uses `routes[\"name\\n\"]` with\ta tab",
+        ),
+    ]
+}
+
+#[test]
+fn json_report_round_trips_through_a_real_parser() {
+    let doc = JsonValue::parse(&render_json(&findings())).expect("emitted JSON parses");
+    assert_eq!(doc.get("count").and_then(JsonValue::as_u64), Some(2));
+    let items = doc
+        .get("findings")
+        .and_then(JsonValue::as_array)
+        .expect("findings array");
+    assert_eq!(items.len(), 2);
+    assert_eq!(items[0].get("rule").and_then(JsonValue::as_str), Some("W1"));
+    assert_eq!(items[0].get("line").and_then(JsonValue::as_u64), Some(0));
+    // The escaped quote, backslash-n, and tab all survive the round trip.
+    assert_eq!(
+        items[1].get("message").and_then(JsonValue::as_str),
+        Some("uses `routes[\"name\\n\"]` with\ta tab")
+    );
+}
+
+#[test]
+fn sarif_report_has_the_2_1_0_shape_scanners_expect() {
+    let doc = JsonValue::parse(&render_sarif(&findings())).expect("emitted SARIF parses");
+    assert_eq!(
+        doc.get("version").and_then(JsonValue::as_str),
+        Some("2.1.0")
+    );
+    let runs = doc.get("runs").and_then(JsonValue::as_array).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(JsonValue::as_str),
+        Some("aod-lint")
+    );
+    // Every rule the linter can emit is declared in the rules table.
+    let rules = driver
+        .get("rules")
+        .and_then(JsonValue::as_array)
+        .expect("driver.rules");
+    assert_eq!(rules.len(), RULES.len());
+    let ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(JsonValue::as_str))
+        .collect();
+    assert!(ids.contains(&"L1") && ids.contains(&"A1") && ids.contains(&"waiver"));
+
+    let results = runs[0]
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .expect("results");
+    assert_eq!(results.len(), 2);
+    for r in results {
+        assert_eq!(r.get("level").and_then(JsonValue::as_str), Some("error"));
+        let region = r
+            .get("locations")
+            .and_then(JsonValue::as_array)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .expect("physicalLocation.region");
+        // Line-0 (whole-file) findings anchor at 1, the SARIF minimum.
+        let line = region.get("startLine").and_then(JsonValue::as_u64);
+        assert!(line >= Some(1), "{line:?}");
+    }
+}
+
+#[test]
+fn empty_reports_still_parse() {
+    assert!(JsonValue::parse(&render_json(&[])).is_ok());
+    assert!(JsonValue::parse(&render_sarif(&[])).is_ok());
+}

@@ -30,5 +30,6 @@ pub use inversions::{
     count_inversions, per_element_inversions, per_element_inversions_compressed, Fenwick,
 };
 pub use lnds::{
-    lis_indices, lis_length, lnds_indices, lnds_length, lnds_length_brute, Monotonicity,
+    lis_indices, lis_length, lnds_indices, lnds_length, lnds_length_brute, lnds_length_with,
+    Monotonicity,
 };

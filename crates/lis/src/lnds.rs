@@ -41,22 +41,29 @@ pub fn lis_indices<T: Ord>(seq: &[T]) -> Vec<u32> {
 /// reconstructing it (saves the parent-pointer array; used when only the
 /// removal-set *size* matters, e.g. threshold checks).
 pub fn lnds_length<T: Ord>(seq: &[T]) -> usize {
-    tails_only(seq, Monotonicity::NonDecreasing)
+    lnds_length_with(seq, &mut Vec::new())
+}
+
+/// [`lnds_length`] against caller-provided scratch, for hot loops that
+/// compute one LNDS per candidate class and must not allocate per call.
+/// `tails` is cleared on entry; its capacity is reused across calls.
+pub fn lnds_length_with<T: Ord>(seq: &[T], tails: &mut Vec<u32>) -> usize {
+    tails_only(seq, Monotonicity::NonDecreasing, tails)
 }
 
 /// Length of the longest strictly increasing subsequence.
 pub fn lis_length<T: Ord>(seq: &[T]) -> usize {
-    tails_only(seq, Monotonicity::Strict)
+    tails_only(seq, Monotonicity::Strict, &mut Vec::new())
 }
 
 /// Patience algorithm computing only the tails array; returns the LIS/LNDS
 /// length.
-fn tails_only<T: Ord>(seq: &[T], mode: Monotonicity) -> usize {
+fn tails_only<T: Ord>(seq: &[T], mode: Monotonicity, tails: &mut Vec<u32>) -> usize {
     // tails[k] = index of the smallest possible tail value of a subsequence
     // of length k+1 seen so far.
-    let mut tails: Vec<u32> = Vec::new();
+    tails.clear();
     for (i, v) in seq.iter().enumerate() {
-        let pos = insertion_point(seq, &tails, v, mode);
+        let pos = insertion_point(seq, tails, v, mode);
         if pos == tails.len() {
             tails.push(i as u32);
         } else {

@@ -273,7 +273,12 @@ impl Partition {
             }
         }
 
+        // These two become the returned partition's backing storage — they
+        // are the *output*, not reusable scratch, so hoisting them onto
+        // `ProductScratch` would just force a copy-out on return.
+        // aod-lint: allow(A1) -- output buffers move into the returned Partition
         let mut elems = Vec::new();
+        // aod-lint: allow(A1) -- output buffers move into the returned Partition
         let mut bounds = vec![0u32];
         for class in other.classes() {
             for &t in class {

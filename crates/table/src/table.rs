@@ -331,6 +331,7 @@ pub fn employee_table() -> Table {
         &["pos", "exp", "sal", "taxGrp", "perc", "tax", "bonus"],
         rows,
     )
+    // aod-lint: allow(P2) -- literal 9x7 table; from_rows only errors on ragged rows or > MAX_ROWS
     .expect("employee table is well formed")
 }
 

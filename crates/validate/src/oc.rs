@@ -15,7 +15,7 @@
 //! ODs `X: A |-> B` (Section 3.3) — see [`PairMode::OdDescB`].
 
 use crate::swap::{is_swap, pack_asc, pack_desc_b, unpack_a, unpack_b_asc, unpack_b_desc};
-use aod_lis::{lnds_indices, lnds_length, per_element_inversions_compressed};
+use aod_lis::{lnds_indices, lnds_length_with, per_element_inversions_compressed};
 use aod_partition::Partition;
 
 /// How `(A, B)` pairs are ordered before the projection step.
@@ -55,6 +55,7 @@ pub struct OcValidator {
     keys: Vec<u64>,
     rows: Vec<u32>,
     bbuf: Vec<u32>,
+    tails: Vec<u32>,
 }
 
 impl OcValidator {
@@ -162,7 +163,8 @@ impl OcValidator {
         let mut removed = 0usize;
         for class in ctx.classes() {
             self.gather_class(class, a_ranks, b_ranks, mode, false);
-            removed += class.len() - lnds_length(&self.bbuf);
+            // Disjoint field borrows: the LNDS reads `bbuf`, reuses `tails`.
+            removed += class.len() - lnds_length_with(&self.bbuf, &mut self.tails);
             if removed > limit {
                 return None;
             }
